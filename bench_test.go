@@ -1,0 +1,376 @@
+package repro
+
+// One benchmark per table and figure of the paper. Each bench regenerates
+// its artifact (at a reduced trace scale for the simulation figures — use
+// cmd/experiments for full-scale runs) and reports the headline numbers as
+// custom benchmark metrics, so `go test -bench=.` doubles as a regression
+// harness for the reproduction.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/queuemodel"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// benchOptions is the reduced scale used by the figure benches.
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Scale = 0.05
+	o.Nodes = []int{1, 8, 16}
+	return o
+}
+
+func BenchmarkTable1Defaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Table1() == "" {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure3ObliviousSurface(b *testing.B) {
+	p := queuemodel.DefaultParams()
+	hits, sizes := queuemodel.DefaultGrid()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		s := queuemodel.ObliviousSurface(p, hits, sizes)
+		peak, _, _ = s.Max()
+	}
+	b.ReportMetric(peak, "peak-req/s")
+}
+
+func BenchmarkFigure4ConsciousSurface(b *testing.B) {
+	p := queuemodel.DefaultParams()
+	hits, sizes := queuemodel.DefaultGrid()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		s := queuemodel.ConsciousSurface(p, hits, sizes)
+		peak, _, _ = s.Max()
+	}
+	b.ReportMetric(peak, "peak-req/s")
+}
+
+func BenchmarkFigure5IncreaseSurface(b *testing.B) {
+	p := queuemodel.DefaultParams()
+	hits, sizes := queuemodel.DefaultGrid()
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		s := queuemodel.IncreaseSurface(p, hits, sizes)
+		peak, _, _ = s.Max()
+	}
+	b.ReportMetric(peak, "peak-gain")
+}
+
+func BenchmarkFigure6IncreaseSideView(b *testing.B) {
+	p := queuemodel.DefaultParams()
+	hits, sizes := queuemodel.DefaultGrid()
+	s := queuemodel.IncreaseSurface(p, hits, sizes)
+	b.ResetTimer()
+	var maxv float64
+	for i := 0; i < b.N; i++ {
+		side := s.SideView()
+		maxv = side[0]
+		for _, v := range side {
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	b.ReportMetric(maxv, "peak-gain")
+}
+
+func BenchmarkModelMemorySweep(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.MemorySweep()
+	}
+	b.ReportMetric(fig.Series[0].Values[len(fig.X)-1], "peak-gain-512mb")
+}
+
+func BenchmarkModelReplicationSweep(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = experiments.ReplicationSweep()
+	}
+	b.ReportMetric(fig.Series[2].Values[0], "fwd%at-R0")
+}
+
+func BenchmarkTable2TraceCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		chs, _ := experiments.Table2(experiments.Options{Scale: 0.02})
+		if len(chs) != 4 {
+			b.Fatal("missing traces")
+		}
+	}
+}
+
+// figureBench runs one Figures 7-10 trace sweep and reports the 16-node
+// throughputs of all four curves.
+func figureBench(b *testing.B, traceName string) {
+	b.Helper()
+	opts := benchOptions()
+	var run *experiments.TraceRun
+	for i := 0; i < b.N; i++ {
+		var err error
+		run, err = experiments.RunTrace(traceName, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(opts.Nodes) - 1
+	b.ReportMetric(run.Model[last], "model-req/s")
+	b.ReportMetric(run.Results["l2s"][last].Throughput, "l2s-req/s")
+	b.ReportMetric(run.Results["lard"][last].Throughput, "lard-req/s")
+	b.ReportMetric(run.Results["traditional"][last].Throughput, "trad-req/s")
+}
+
+func BenchmarkFigure7Calgary(b *testing.B)  { figureBench(b, "calgary") }
+func BenchmarkFigure8Clarknet(b *testing.B) { figureBench(b, "clarknet") }
+func BenchmarkFigure9NASA(b *testing.B)     { figureBench(b, "nasa") }
+func BenchmarkFigure10Rutgers(b *testing.B) { figureBench(b, "rutgers") }
+
+// benchTraceRun caches one calgary sweep for the Section 5.2 metric
+// benches so each reports from the same underlying experiment.
+func sec52Run(b *testing.B) *experiments.TraceRun {
+	b.Helper()
+	run, err := experiments.RunTrace("calgary", benchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+func BenchmarkMissRates(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sec52Run(b).MissRateFigure()
+	}
+	last := len(fig.X) - 1
+	b.ReportMetric(fig.Series[0].Values[last], "l2s-miss%")
+	b.ReportMetric(fig.Series[2].Values[last], "trad-miss%")
+}
+
+func BenchmarkIdleTimes(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sec52Run(b).IdleTimeFigure()
+	}
+	last := len(fig.X) - 1
+	b.ReportMetric(fig.Series[0].Values[last], "l2s-idle%")
+	b.ReportMetric(fig.Series[1].Values[last], "lard-idle%")
+}
+
+func BenchmarkForwardingFractions(b *testing.B) {
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig = sec52Run(b).ForwardingFigure()
+	}
+	last := len(fig.X) - 1
+	b.ReportMetric(fig.Series[0].Values[last], "l2s-fwd%")
+	b.ReportMetric(fig.Series[1].Values[last], "lard-fwd%")
+}
+
+func BenchmarkMemoryScaling(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.08))
+	b.ResetTimer()
+	var figs []experiments.Figure
+	for i := 0; i < b.N; i++ {
+		figs, _, err = experiments.MemoryScaling(tr, []int{8, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	series := func(f experiments.Figure, label string) float64 {
+		for _, s := range f.Series {
+			if s.Label == label {
+				return s.Values[len(s.Values)-1]
+			}
+		}
+		return 0
+	}
+	b.ReportMetric(series(figs[0], "traditional"), "trad-32mb-req/s")
+	b.ReportMetric(series(figs[1], "traditional"), "trad-128mb-req/s")
+}
+
+func BenchmarkL2SSensitivity(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.04))
+	b.ResetTimer()
+	var results map[string][]experiments.SensitivityResult
+	for i := 0; i < b.N; i++ {
+		results, _, err = experiments.L2SSensitivity(tr, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	deltas := results["broadcast-delta"]
+	b.ReportMetric(deltas[0].Throughput, "delta1-req/s")
+	b.ReportMetric(deltas[len(deltas)-1].Throughput, "delta16-req/s")
+}
+
+func BenchmarkFailover(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.04))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FailoverStudy(tr, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorEventRate measures raw simulator speed: events fired
+// per wall-clock second for an L2S run, the number that bounds how large a
+// trace the harness can replay.
+func BenchmarkSimulatorEventRate(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.05))
+	cfg := server.DefaultConfig(server.L2SServer, 16)
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		r, err := server.Run(cfg, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = r.Events
+	}
+	b.ReportMetric(float64(events), "events/run")
+}
+
+func BenchmarkPolicyComparison(b *testing.B) {
+	spec, err := trace.PaperTrace("clarknet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.03))
+	b.ResetTimer()
+	var rows []experiments.PolicyRow
+	for i := 0; i < b.N; i++ {
+		rows, _, err = experiments.PolicyComparison(tr, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Policy == "l2s" {
+			b.ReportMetric(r.Throughput, "l2s-req/s")
+		}
+		if r.Policy == "hashing" {
+			b.ReportMetric(r.Imbalance, "hash-imbalance")
+		}
+	}
+}
+
+func BenchmarkLARDVariants(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.05))
+	b.ResetTimer()
+	var rows []experiments.PolicyRow
+	for i := 0; i < b.N; i++ {
+		rows, _, err = experiments.LARDVariants(tr, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "lard-basic-req/s")
+	b.ReportMetric(rows[1].Throughput, "lard-r-req/s")
+}
+
+func BenchmarkPersistentConnections(b *testing.B) {
+	spec, err := trace.PaperTrace("clarknet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.04))
+	b.ResetTimer()
+	var rows []experiments.PersistentRow
+	for i := 0; i < b.N; i++ {
+		rows, _, err = experiments.PersistentStudy(tr, 16, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "lard" && r.Mode == "http/1.1" {
+			b.ReportMetric(r.Throughput, "lard-p-req/s")
+		}
+		if r.System == "l2s" && r.Mode == "http/1.1" {
+			b.ReportMetric(r.Throughput, "l2s-p-req/s")
+		}
+	}
+}
+
+func BenchmarkLatencyStudy(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.04))
+	b.ResetTimer()
+	var fig experiments.Figure
+	for i := 0; i < b.N; i++ {
+		fig, _, err = experiments.LatencyStudy(tr, 16, []float64{500, 1500, 2500})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(fig.Series[0].Values[0]*1000, "sim-p500-ms")
+	b.ReportMetric(fig.Series[1].Values[0]*1000, "model-p500-ms")
+}
+
+func BenchmarkHeterogeneousStudy(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.04))
+	b.ResetTimer()
+	var rows []experiments.PolicyRow
+	for i := 0; i < b.N; i++ {
+		rows, _, err = experiments.HeterogeneousStudy(tr, 16, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "l2s-homog-req/s")
+	b.ReportMetric(rows[1].Throughput, "l2s-mixed-req/s")
+}
+
+func BenchmarkSection6(b *testing.B) {
+	tr := trace.MustGenerate(trace.GenSpec{
+		Name: "s6", Files: 1000, AvgFileKB: 5, Requests: 40000,
+		AvgReqKB: 4, Alpha: 0.9, LocalityP: 0.3, Seed: 8,
+	})
+	b.ResetTimer()
+	var rows []experiments.PolicyRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, _, err = experiments.Section6Study(tr, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].Throughput, "lard-req/s")
+	b.ReportMetric(rows[1].Throughput, "dispatch-req/s")
+	b.ReportMetric(rows[2].Throughput, "l2s-req/s")
+}

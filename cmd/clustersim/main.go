@@ -1,0 +1,154 @@
+// Command clustersim runs one trace-driven cluster server simulation: pick
+// a system (traditional, lard, l2s), a workload, and a cluster size, and it
+// reports the Section 5 metrics.
+//
+// Usage:
+//
+//	clustersim -system l2s -trace calgary -nodes 16 -scale 0.2
+//	clustersim -system lard -in real.trace -nodes 8 -mem 128
+//	clustersim -system l2s -trace nasa -nodes 16 -fail 3 -failat 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/policy"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "l2s", "traditional, lard, lard-basic, lard-dispatch, l2s, hashing, random, or cached-dns")
+		name     = flag.String("trace", "calgary", "paper trace to generate")
+		in       = flag.String("in", "", "trace file (overrides -trace)")
+		scale    = flag.Float64("scale", 0.2, "request-count scale for generated traces")
+		nodes    = flag.Int("nodes", 16, "cluster size")
+		memMB    = flag.Int64("mem", 32, "per-node memory in MB")
+		window   = flag.Int("window", 12, "outstanding connections per node")
+		warm     = flag.Float64("warm", 0.4, "warm-up fraction of the trace")
+		failNode = flag.Int("fail", -1, "node to crash mid-run (-1: none)")
+		failAt   = flag.Float64("failat", 0.5, "fraction of the trace at which the crash happens")
+		t        = flag.Int("T", 20, "L2S overload threshold")
+		lowT     = flag.Int("t", 10, "L2S underload threshold")
+		delta    = flag.Int("delta", 4, "L2S load-broadcast delta")
+		oracle   = flag.Bool("oracle", false, "L2S reads true remote loads (no gossip staleness)")
+		persist  = flag.Bool("persistent", false, "HTTP/1.1 persistent connections")
+		rpc      = flag.Float64("rpc", 7, "mean requests per persistent connection")
+		dnsTTL   = flag.Int("dnsttl", 50, "cached-dns: requests per cached translation")
+		dfs      = flag.Bool("dfs", false, "explicit distributed file system (remote disk reads)")
+		rate     = flag.Float64("rate", 0, "open-loop Poisson arrival rate (0: saturation)")
+		verbose  = flag.Bool("v", false, "per-node detail")
+	)
+	flag.Parse()
+
+	var sys server.System
+	var custom func(env policy.Env) policy.Distributor
+	switch *system {
+	case "traditional", "trad":
+		sys = server.Traditional
+	case "lard":
+		sys = server.LARDServer
+	case "lard-dispatch":
+		sys = server.LARDDispatcher
+	case "l2s":
+		sys = server.L2SServer
+	case "lard-basic":
+		sys = server.LARDServer
+	case "hashing":
+		sys = server.CustomServer
+		custom = func(env policy.Env) policy.Distributor { return policy.NewHashing(env) }
+	case "random":
+		sys = server.CustomServer
+		custom = func(env policy.Env) policy.Distributor { return policy.NewRandom(env, 7) }
+	case "cached-dns":
+		sys = server.CustomServer
+		ttl := *dnsTTL
+		custom = func(env policy.Env) policy.Distributor { return policy.NewCachedDNS(env, ttl) }
+	default:
+		fmt.Fprintf(os.Stderr, "clustersim: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	var tr *trace.Trace
+	var err error
+	if *in != "" {
+		f, err2 := os.Open(*in)
+		fatalIf(err2)
+		tr, err = trace.Read(f)
+		f.Close()
+	} else {
+		var spec trace.GenSpec
+		spec, err = trace.PaperTrace(*name)
+		if err == nil {
+			tr, err = trace.Generate(spec.Scaled(*scale))
+		}
+	}
+	fatalIf(err)
+
+	cfg := server.DefaultConfig(sys, *nodes)
+	cfg.CacheBytes = *memMB << 20
+	cfg.WindowPerNode = *window
+	cfg.WarmFraction = *warm
+	cfg.FailNode = *failNode
+	cfg.FailAtFrac = *failAt
+	cfg.L2S.T = *t
+	cfg.L2S.LowT = *lowT
+	cfg.L2S.BroadcastDelta = *delta
+	cfg.L2S.Oracle = *oracle
+	cfg.Persistent = *persist
+	cfg.ReqsPerConn = *rpc
+	cfg.DistributedFS = *dfs
+	cfg.ArrivalRate = *rate
+	cfg.CustomPolicy = custom
+	if *system == "lard-basic" {
+		cfg.LARD.Replication = false
+	}
+
+	r, err := server.Run(cfg, tr)
+	fatalIf(err)
+
+	fmt.Printf("system=%s nodes=%d trace=%s requests=%d mem=%dMB\n",
+		r.System, r.Nodes, tr.Name, tr.NumRequests(), *memMB)
+	fmt.Printf("throughput:      %10.0f req/s (measured over %.2f simulated s)\n", r.Throughput, r.SimTime)
+	fmt.Printf("completed:       %10d   aborted: %d\n", r.Completed, r.Aborted)
+	fmt.Printf("cache miss rate: %10.1f%%\n", r.MissRate*100)
+	fmt.Printf("forwarded:       %10.1f%%\n", r.ForwardedFrac*100)
+	fmt.Printf("cpu idle:        %10.1f%%  (mean util %.1f%%)\n", r.CPUIdle*100, r.MeanCPUUtil*100)
+	fmt.Printf("router util:     %10.1f%%  disk util: %.1f%%\n", r.RouterUtil*100, r.MeanDiskUtil*100)
+	fmt.Printf("mean load:       %10.1f connections/node (imbalance %.2f)\n", r.MeanLoad, r.LoadImbalance)
+	fmt.Printf("latency:         %10.2f ms mean, %.2f ms p50, %.2f ms p99\n",
+		r.LatencyMean*1000, r.LatencyP50*1000, r.LatencyP99*1000)
+	fmt.Printf("control msgs:    %10d   events: %d\n", r.ControlMessages, r.Events)
+	if r.L2S != nil {
+		fmt.Printf("l2s: %d load broadcasts, %d set broadcasts, %d grows, %d shrinks, %.1f%% files replicated\n",
+			r.L2S.LoadBroadcasts, r.L2S.SetBroadcasts, r.L2S.SetGrows, r.L2S.SetShrinks,
+			r.L2S.ReplicatedFrac*100)
+		sizes := make([]int, 0, len(r.L2S.SetSizes))
+		for k := range r.L2S.SetSizes {
+			sizes = append(sizes, k)
+		}
+		sort.Ints(sizes)
+		fmt.Printf("l2s server-set sizes:")
+		for _, k := range sizes {
+			fmt.Printf(" %d:%d", k, r.L2S.SetSizes[k])
+		}
+		fmt.Println()
+	}
+	if *verbose {
+		fmt.Println("per-node cpu utilization:")
+		for i, u := range r.PerNodeCPUUtil {
+			fmt.Printf("  node %2d: %5.1f%%\n", i, u*100)
+		}
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(1)
+	}
+}

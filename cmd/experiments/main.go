@@ -1,0 +1,190 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and prints them in the order they appear in the paper. The
+// output of a full run (-scale 0.2) is what EXPERIMENTS.md records.
+//
+// Usage:
+//
+//	experiments                 # everything at the default scale
+//	experiments -scale 0.05     # quick pass
+//	experiments -only figure8   # one experiment
+//	experiments -csv            # machine-readable figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
+		only  = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, latency)")
+		csv   = flag.Bool("csv", false, "emit figures as CSV instead of tables")
+		chart = flag.Bool("chart", false, "draw figures as ASCII charts too")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Scale = *scale
+
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	emit := func(fig experiments.Figure) {
+		if *csv {
+			fmt.Println(fig.CSV())
+		} else {
+			fmt.Println(fig.Render())
+		}
+		if *chart {
+			fmt.Println(fig.Chart(60, 16))
+		}
+	}
+
+	start := time.Now()
+
+	if want("table1") {
+		fmt.Println(experiments.Table1())
+	}
+
+	if want("figures3to6") {
+		fig3, fig4, fig5 := experiments.ModelSurfaces()
+		fmt.Print(experiments.SurfaceSummary(fig3))
+		fmt.Print(experiments.SurfaceSummary(fig4))
+		fmt.Print(experiments.SurfaceSummary(fig5))
+		emit(experiments.Figure6(fig5))
+		emit(experiments.MemorySweep())
+		emit(experiments.ReplicationSweep())
+	}
+
+	if want("table2") {
+		_, text := experiments.Table2(opts)
+		fmt.Println(text)
+	}
+
+	var runs []*experiments.TraceRun
+	for _, name := range []string{"calgary", "clarknet", "nasa", "rutgers"} {
+		figID := experiments.FigureIDs[name]
+		if !want(figID) && !want("section5.2") {
+			continue
+		}
+		run, err := experiments.RunTrace(name, opts)
+		fatalIf(err)
+		runs = append(runs, run)
+		if want(figID) {
+			emit(run.ThroughputFigure(figID))
+			fmt.Println(run.Summary())
+		}
+	}
+
+	if want("section5.2") {
+		for _, run := range runs {
+			emit(run.MissRateFigure())
+			emit(run.IdleTimeFigure())
+			emit(run.ForwardingFigure())
+		}
+	}
+
+	if want("sensitivity") {
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.L2SSensitivity(tr, 16)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("memory") {
+		for _, name := range []string{"calgary", "nasa"} {
+			spec, err := trace.PaperTrace(name)
+			fatalIf(err)
+			tr, err := trace.Generate(spec.Scaled(opts.Scale))
+			fatalIf(err)
+			_, text, err := experiments.MemoryScaling(tr, opts.Nodes)
+			fatalIf(err)
+			fmt.Println(text)
+		}
+	}
+
+	if want("policies") {
+		spec, err := trace.PaperTrace("clarknet")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.PolicyComparison(tr, 16)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("persistent") {
+		spec, err := trace.PaperTrace("clarknet")
+		fatalIf(err)
+		spec = spec.Scaled(opts.Scale / 2)
+		spec.Clients = 5000
+		tr, err := trace.Generate(spec)
+		fatalIf(err)
+		_, text, err := experiments.PersistentStudy(tr, 16, 7)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("failover") {
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		text, err := experiments.FailoverStudy(tr, 16)
+		fatalIf(err)
+		fmt.Println(text)
+		fig, err := experiments.FailoverTimeline(tr, 16, 3)
+		fatalIf(err)
+		fmt.Println(fig.Chart(60, 12))
+	}
+
+	if want("section6") {
+		spec, err := trace.PaperTrace("clarknet")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.Section6Study(tr, 16)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("heterogeneous") {
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.HeterogeneousStudy(tr, 16, 0.5)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("latency") {
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.LatencyStudy(tr, 16,
+			[]float64{500, 1000, 2000, 3000, 4000, 5000})
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,155 @@
+// Command l2sd runs a live L2S cluster over HTTP on loopback ports — the
+// native server of the paper's conclusion. It serves a synthetic catalog,
+// gossips load and server-set changes between nodes, and hands requests
+// off by reverse proxying.
+//
+// Usage:
+//
+//	l2sd -nodes 4                       # run until interrupted
+//	l2sd -nodes 4 -demo 10s             # drive built-in load, print stats
+//	curl $(l2sd prints the URLs)/files/f/17
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/native"
+	"repro/internal/trace"
+	"repro/internal/zipf"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 4, "cluster size")
+		files   = flag.Int("files", 2000, "synthetic catalog size")
+		avgKB   = flag.Float64("avgkb", 24, "mean file size in KB")
+		cacheMB = flag.Int64("cache", 32, "per-node cache in MB")
+		tHigh   = flag.Int("T", 20, "overload threshold (open requests)")
+		tLow    = flag.Int("t", 10, "underload threshold")
+		delta   = flag.Int("delta", 4, "load-broadcast drift")
+		miss    = flag.Duration("misspenalty", 2*time.Millisecond, "artificial disk delay per cache miss")
+		demo    = flag.Duration("demo", 0, "run a built-in load generator for this long, then exit")
+		workers = flag.Int("workers", 64, "demo load-generator concurrency")
+		alpha   = flag.Float64("alpha", 0.9, "demo request popularity exponent")
+		replay  = flag.String("replay", "", "replay a paper trace (calgary, clarknet, nasa, rutgers) instead of synthetic demo load")
+		scale   = flag.Float64("scale", 0.02, "request-count scale for -replay")
+	)
+	flag.Parse()
+
+	store := native.SyntheticStore(*files, *avgKB, 1)
+	var replayTrace *trace.Trace
+	if *replay != "" {
+		spec, err := trace.PaperTrace(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "l2sd:", err)
+			os.Exit(1)
+		}
+		replayTrace, err = trace.Generate(spec.Scaled(*scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "l2sd:", err)
+			os.Exit(1)
+		}
+		store = native.StoreFromTrace(replayTrace)
+	}
+
+	cluster, err := native.StartCluster(native.ClusterConfig{
+		Nodes:      *nodes,
+		Store:      store,
+		CacheBytes: *cacheMB << 20,
+		Opts: native.Options{
+			T: *tHigh, LowT: *tLow, BroadcastDelta: *delta,
+			ShrinkAfter: 20 * time.Second,
+		},
+		MissPenalty: *miss,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "l2sd:", err)
+		os.Exit(1)
+	}
+	defer cluster.Shutdown()
+
+	fmt.Printf("l2sd: %d-node L2S cluster serving %d files (~%.0f KB each)\n",
+		*nodes, *files, *avgKB)
+	for i, u := range cluster.URLs() {
+		fmt.Printf("  node %d: %s/files/f/<id>   (stats: %s/statsz)\n", i, u, u)
+	}
+
+	if replayTrace != nil {
+		fmt.Printf("l2sd: replaying %s (%d requests) with %d workers...\n",
+			replayTrace.Name, replayTrace.NumRequests(), *workers)
+		res, err := native.Replay(cluster, replayTrace, *workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "l2sd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("l2sd: %d completed (%d errors) in %v: %.0f req/s\n",
+			res.Completed, res.Errors, res.Wall.Round(time.Millisecond), res.Rate)
+		printStats(cluster)
+		return
+	}
+
+	if *demo > 0 {
+		runDemo(cluster, *demo, *workers, *files, *alpha)
+		printStats(cluster)
+		return
+	}
+
+	fmt.Println("l2sd: ^C to stop")
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	printStats(cluster)
+}
+
+// runDemo drives Zipf-popular requests through the cluster round robin.
+func runDemo(cluster *native.Cluster, d time.Duration, workers, files int, alpha float64) {
+	fmt.Printf("l2sd: driving load for %v with %d workers...\n", d, workers)
+	dist := zipf.New(alpha, int64(files))
+	stop := time.Now().Add(d)
+	var done, errs atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			client := &http.Client{Timeout: 10 * time.Second}
+			for time.Now().Before(stop) {
+				id := dist.Sample(rng) - 1
+				url := fmt.Sprintf("%s/files/f/%d", cluster.NextURL(), id)
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				done.Add(1)
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	fmt.Printf("l2sd: %d requests completed (%d errors), %.0f req/s\n",
+		done.Load(), errs.Load(), float64(done.Load())/d.Seconds())
+}
+
+func printStats(cluster *native.Cluster) {
+	fmt.Println("per-node statistics:")
+	for i := 0; i < cluster.Len(); i++ {
+		s := cluster.Node(i).Snapshot()
+		fmt.Printf("  node %d: served=%-7d proxied-out=%-7d handoffs-in=%-7d hit-rate=%5.1f%% cache=%dKB gossip=%d\n",
+			s.ID, s.Served, s.Proxied, s.Received, s.HitRate*100, s.CacheUsed>>10, s.GossipOut)
+	}
+	t := cluster.Totals()
+	fmt.Printf("cluster: served=%d hit-rate=%.1f%% handoffs=%d gossip=%d fallbacks=%d\n",
+		t.Served+t.Received, t.HitRate*100, t.Proxied, t.GossipOut, t.Fallbacks)
+}

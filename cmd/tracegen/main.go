@@ -1,0 +1,110 @@
+// Command tracegen generates, characterizes, and converts the WWW server
+// workloads that drive the simulator.
+//
+// Usage:
+//
+//	tracegen -list                         # show the Table 2 specs
+//	tracegen -trace nasa -scale 0.1 -out nasa.trace
+//	tracegen -characterize nasa.trace      # Table 2 statistics of a file
+//	tracegen -clf access.log -out real.trace
+//	tracegen -files 50000 -avgfile 30 -avgreq 15 -alpha 0.9 -requests 1e6 -out custom.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the paper trace specs")
+		name     = flag.String("trace", "", "paper trace to generate (calgary, clarknet, nasa, rutgers)")
+		scale    = flag.Float64("scale", 1.0, "request-count scale factor")
+		out      = flag.String("out", "", "output trace file")
+		charFile = flag.String("characterize", "", "print Table 2 statistics for a trace file")
+		clf      = flag.String("clf", "", "convert a Common Log Format access log")
+
+		files    = flag.Int("files", 0, "custom: catalog size")
+		avgFile  = flag.Float64("avgfile", 30, "custom: mean file size (KB)")
+		avgReq   = flag.Float64("avgreq", 15, "custom: mean request size (KB)")
+		alpha    = flag.Float64("alpha", 0.9, "custom: Zipf exponent")
+		requests = flag.Float64("requests", 1e5, "custom: request count")
+		locality = flag.Float64("locality", 0.3, "custom: temporal locality probability")
+		seed     = flag.Int64("seed", 1, "custom: RNG seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-10s %8s %10s %10s %9s %6s\n", "name", "files", "avgfileKB", "requests", "avgreqKB", "alpha")
+		for _, s := range trace.PaperTraces() {
+			fmt.Printf("%-10s %8d %10.1f %10d %9.1f %6.2f\n",
+				s.Name, s.Files, s.AvgFileKB, s.Requests, s.AvgReqKB, s.Alpha)
+		}
+	case *charFile != "":
+		f, err := os.Open(*charFile)
+		fatalIf(err)
+		defer f.Close()
+		tr, err := trace.Read(f)
+		fatalIf(err)
+		printCharacteristics(tr)
+	case *clf != "":
+		f, err := os.Open(*clf)
+		fatalIf(err)
+		defer f.Close()
+		r, err := trace.NewLogReader(f) // transparent gzip
+		fatalIf(err)
+		tr, skipped, err := trace.ParseCLF(*clf, r)
+		fatalIf(err)
+		fmt.Printf("parsed %d requests (%d lines skipped)\n", tr.NumRequests(), skipped)
+		printCharacteristics(tr)
+		writeOut(tr, *out)
+	case *name != "":
+		spec, err := trace.PaperTrace(*name)
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(*scale))
+		fatalIf(err)
+		printCharacteristics(tr)
+		writeOut(tr, *out)
+	case *files > 0:
+		tr, err := trace.Generate(trace.GenSpec{
+			Name: "custom", Files: *files, AvgFileKB: *avgFile,
+			Requests: int(*requests), AvgReqKB: *avgReq, Alpha: *alpha,
+			LocalityP: *locality, Seed: *seed,
+		})
+		fatalIf(err)
+		printCharacteristics(tr)
+		writeOut(tr, *out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printCharacteristics(tr *trace.Trace) {
+	ch := trace.Characterize(tr)
+	fmt.Printf("trace %s: %d files (%.1f KB avg, %.0f MB total), %d requests (%.1f KB avg), fitted alpha %.2f\n",
+		ch.Name, ch.CatalogFiles, ch.CatalogAvgKB, ch.CatalogMB, ch.NumRequests, ch.AvgReqKB, ch.Alpha)
+}
+
+func writeOut(tr *trace.Trace, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	defer f.Close()
+	n, err := tr.WriteTo(f)
+	fatalIf(err)
+	fmt.Printf("wrote %s (%d bytes)\n", path, n)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}

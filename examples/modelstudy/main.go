@@ -1,0 +1,66 @@
+// Modelstudy: use the analytic queuing model directly to explore when
+// locality-conscious request distribution is worth it — the Section 3
+// analysis, driven through the public model API.
+//
+//	go run ./examples/modelstudy
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/queuemodel"
+)
+
+func main() {
+	p := queuemodel.DefaultParams() // Table 1 defaults: 16 nodes, 128 MB
+
+	fmt.Println("locality gain (conscious/oblivious) across the parameter plane")
+	fmt.Printf("%-10s", "Hlo\\S(KB)")
+	sizes := []float64{4, 16, 48, 96}
+	for _, s := range sizes {
+		fmt.Printf("%8.0f", s)
+	}
+	fmt.Println()
+	for _, hlo := range []float64{0.3, 0.5, 0.7, 0.8, 0.9, 0.95} {
+		fmt.Printf("%-10.2f", hlo)
+		for _, s := range sizes {
+			q := p
+			q.AvgFileKB = s
+			gain := q.Conscious(hlo).RequestsPerSec / q.Oblivious(hlo).RequestsPerSec
+			fmt.Printf("%8.2f", gain)
+		}
+		fmt.Println()
+	}
+
+	// Where does each configuration bottleneck?
+	fmt.Println("\nbottlenecks of the locality-conscious server (Hlo=0.7):")
+	for _, s := range sizes {
+		q := p
+		q.AvgFileKB = s
+		r := q.Conscious(0.7)
+		fmt.Printf("  S=%3.0fKB: %8.0f req/s, bound by %s\n",
+			s, r.RequestsPerSec, r.Bottleneck)
+	}
+
+	// How much does replication help at a moderate hit rate?
+	fmt.Println("\nreplication trade-off at Hlo=0.7, S=8KB:")
+	for _, r := range []float64{0, 0.15, 0.5, 1} {
+		q := p
+		q.AvgFileKB = 8
+		q.Replication = r
+		hlc, h := q.HitRates(0.7)
+		fmt.Printf("  R=%3.0f%%: throughput %8.0f req/s, Hlc=%.3f, forwarded Q=%.2f\n",
+			r*100, q.Conscious(0.7).RequestsPerSec, hlc, q.ForwardFraction(h))
+	}
+
+	// Cluster scaling: the bound grows linearly until the shared router
+	// saturates.
+	fmt.Println("\ncluster scaling at Hlo=0.8, S=32KB:")
+	for _, n := range []int{1, 4, 16, 64, 256} {
+		q := p
+		q.AvgFileKB = 32
+		q.Nodes = n
+		r := q.Conscious(0.8)
+		fmt.Printf("  N=%4d: %9.0f req/s (%s-bound)\n", n, r.RequestsPerSec, r.Bottleneck)
+	}
+}

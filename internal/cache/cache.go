@@ -1,0 +1,159 @@
+// Package cache implements the per-node main-memory file cache of the
+// simulated cluster: a byte-accounted LRU over whole files, as assumed by
+// both the traditional and the locality-conscious servers in the paper.
+//
+// The cache does not store file contents (the simulator only needs hits and
+// misses); it tracks identities and sizes, charges capacity in bytes, and
+// keeps hit/miss/eviction statistics.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// FileID identifies a file in a trace's catalog (its popularity-agnostic
+// index).
+type FileID int32
+
+// LRU is a least-recently-used file cache with a byte capacity.
+type LRU struct {
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	items    map[FileID]*list.Element
+
+	hits      stats.Ratio
+	evictions uint64
+
+	// OnEvict, when non-nil, is called for every evicted file.
+	OnEvict func(id FileID, size int64)
+}
+
+type entry struct {
+	id   FileID
+	size int64
+}
+
+// NewLRU returns an empty cache holding at most capacity bytes.
+func NewLRU(capacity int64) *LRU {
+	if capacity < 0 {
+		panic(fmt.Sprintf("cache: negative capacity %d", capacity))
+	}
+	return &LRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[FileID]*list.Element),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Used returns the bytes currently cached.
+func (c *LRU) Used() int64 { return c.used }
+
+// Len returns the number of cached files.
+func (c *LRU) Len() int { return len(c.items) }
+
+// Contains reports whether the file is cached, without touching LRU order
+// or statistics.
+func (c *LRU) Contains(id FileID) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Access simulates serving the file: on a hit the file is refreshed to
+// most-recently-used and true is returned; on a miss the file is fetched
+// into the cache (evicting LRU entries as needed) and false is returned.
+// Files larger than the whole cache are served but never cached.
+//
+// Statistics are recorded either way; use Warm for statistics-free priming.
+func (c *LRU) Access(id FileID, size int64) bool {
+	hit := c.touch(id, size)
+	c.hits.Observe(hit)
+	return hit
+}
+
+// Warm performs the same state change as Access without recording
+// statistics, for cache warm-up runs.
+func (c *LRU) Warm(id FileID, size int64) bool {
+	return c.touch(id, size)
+}
+
+func (c *LRU) touch(id FileID, size int64) bool {
+	if size < 0 {
+		panic(fmt.Sprintf("cache: negative size %d for file %d", size, id))
+	}
+	if el, ok := c.items[id]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if size > c.capacity {
+		return false // uncacheable; served straight from disk
+	}
+	for c.used+size > c.capacity {
+		c.evictOldest()
+	}
+	el := c.order.PushFront(entry{id: id, size: size})
+	c.items[id] = el
+	c.used += size
+	return false
+}
+
+// Evict removes the file if cached, returning whether it was present. The
+// OnEvict callback fires as for capacity evictions.
+func (c *LRU) Evict(id FileID) bool {
+	el, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	c.remove(el)
+	return true
+}
+
+func (c *LRU) evictOldest() {
+	el := c.order.Back()
+	if el == nil {
+		panic("cache: eviction from empty cache (size accounting bug)")
+	}
+	c.remove(el)
+}
+
+func (c *LRU) remove(el *list.Element) {
+	e := el.Value.(entry)
+	c.order.Remove(el)
+	delete(c.items, e.id)
+	c.used -= e.size
+	c.evictions++
+	if c.OnEvict != nil {
+		c.OnEvict(e.id, e.size)
+	}
+}
+
+// HitRate returns the hit fraction since the last ResetStats.
+func (c *LRU) HitRate() float64 { return c.hits.Value() }
+
+// Stats returns the raw hit/total counters.
+func (c *LRU) Stats() stats.Ratio { return c.hits }
+
+// Evictions returns the number of evictions since the last ResetStats.
+func (c *LRU) Evictions() uint64 { return c.evictions }
+
+// ResetStats zeroes hit/miss/eviction counters, preserving cache contents;
+// call it at the end of warm-up.
+func (c *LRU) ResetStats() {
+	c.hits = stats.Ratio{}
+	c.evictions = 0
+}
+
+// MostRecent returns up to n most-recently-used file ids, for diagnostics.
+func (c *LRU) MostRecent(n int) []FileID {
+	out := make([]FileID, 0, n)
+	for el := c.order.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(entry).id)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CurveBuilder computes byte-granular LRU reuse distances over an access
+// stream in one pass (Mattson's stack algorithm with a Fenwick tree): the
+// reuse distance of an access is the number of bytes of distinct files
+// touched since the previous access to the same file, inclusive. An access
+// hits in an LRU cache of capacity C exactly when its reuse distance is at
+// most C, so a single pass yields the hit rate at every cache size — the
+// miss-ratio curve used to anchor the analytic model's hit rates for all
+// cluster sizes at once.
+type CurveBuilder struct {
+	bit      []int64          // Fenwick tree over access positions, holding sizes
+	position map[FileID]int32 // latest access position per file (1-based)
+	sizes    map[FileID]int64
+	next     int32
+
+	distances []int64 // recorded reuse distances of measured hits-or-misses
+	cold      uint64  // measured accesses with no previous reference
+}
+
+// NewCurveBuilder sizes the builder for a stream of at most accesses
+// accesses (additional accesses grow the structure automatically).
+func NewCurveBuilder(accesses int) *CurveBuilder {
+	if accesses < 16 {
+		accesses = 16
+	}
+	return &CurveBuilder{
+		bit:      make([]int64, accesses+1),
+		position: make(map[FileID]int32),
+		sizes:    make(map[FileID]int64),
+	}
+}
+
+// Warm processes an access without recording a measurement, as cache
+// warm-up does.
+func (b *CurveBuilder) Warm(id FileID, size int64) {
+	b.touch(id, size, false)
+}
+
+// Add processes an access and records its reuse distance.
+func (b *CurveBuilder) Add(id FileID, size int64) {
+	b.touch(id, size, true)
+}
+
+func (b *CurveBuilder) touch(id FileID, size int64, record bool) {
+	if size < 0 {
+		panic(fmt.Sprintf("cache: negative size %d for file %d", size, id))
+	}
+	prev, seen := b.position[id]
+	if record {
+		if !seen {
+			b.cold++
+		} else {
+			// Bytes of distinct files accessed strictly after prev, plus
+			// this file itself.
+			d := b.suffixSum(int(prev)) + b.sizes[id]
+			b.distances = append(b.distances, d)
+		}
+	}
+	if seen {
+		b.update(int(prev), -b.sizes[id])
+	}
+	b.next++
+	if int(b.next) >= len(b.bit) {
+		b.grow()
+	}
+	b.position[id] = b.next
+	b.sizes[id] = size
+	b.update(int(b.next), size)
+}
+
+func (b *CurveBuilder) grow() {
+	old := b.bit
+	n := len(old) * 2
+	b.bit = make([]int64, n)
+	// Rebuild from per-file positions (only live positions carry weight).
+	for id, pos := range b.position {
+		b.update(int(pos), b.sizes[id])
+	}
+	_ = old
+}
+
+// update adds delta at position i (1-based Fenwick).
+func (b *CurveBuilder) update(i int, delta int64) {
+	for ; i < len(b.bit); i += i & (-i) {
+		b.bit[i] += delta
+	}
+}
+
+// prefixSum returns the sum of sizes at positions 1..i.
+func (b *CurveBuilder) prefixSum(i int) int64 {
+	var s int64
+	for ; i > 0; i -= i & (-i) {
+		s += b.bit[i]
+	}
+	return s
+}
+
+// suffixSum returns the sum of sizes at positions > i.
+func (b *CurveBuilder) suffixSum(i int) int64 {
+	return b.prefixSum(int(b.next)) - b.prefixSum(i)
+}
+
+// Curve is the finished miss-ratio curve.
+type Curve struct {
+	distances []int64 // sorted reuse distances of re-references
+	measured  uint64  // total measured accesses (re-references + cold)
+}
+
+// Curve finalizes the builder.
+func (b *CurveBuilder) Curve() *Curve {
+	ds := append([]int64(nil), b.distances...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return &Curve{distances: ds, measured: uint64(len(ds)) + b.cold}
+}
+
+// HitRate returns the LRU hit rate at the given byte capacity: the
+// fraction of measured accesses whose reuse distance fits.
+func (c *Curve) HitRate(capacity int64) float64 {
+	if c.measured == 0 {
+		return 0
+	}
+	hits := sort.Search(len(c.distances), func(i int) bool {
+		return c.distances[i] > capacity
+	})
+	return float64(hits) / float64(c.measured)
+}
+
+// MissRate is 1 - HitRate.
+func (c *Curve) MissRate(capacity int64) float64 { return 1 - c.HitRate(capacity) }
+
+// Measured returns how many accesses were recorded.
+func (c *Curve) Measured() uint64 { return c.measured }

@@ -1,0 +1,151 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReuseDistanceBasics(t *testing.T) {
+	b := NewCurveBuilder(16)
+	// A(10) B(20) A: A's reuse distance = 20 + 10 = 30.
+	b.Add(1, 10)
+	b.Add(2, 20)
+	b.Add(1, 10)
+	c := b.Curve()
+	if c.Measured() != 3 {
+		t.Fatalf("measured = %d, want 3", c.Measured())
+	}
+	// Capacity 30 fits the re-reference; 29 does not. Cold accesses always
+	// miss.
+	if got := c.HitRate(30); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("HitRate(30) = %v, want 1/3", got)
+	}
+	if got := c.HitRate(29); got != 0 {
+		t.Fatalf("HitRate(29) = %v, want 0", got)
+	}
+}
+
+func TestReuseWarmSkipsMeasurement(t *testing.T) {
+	b := NewCurveBuilder(16)
+	b.Warm(1, 10)
+	b.Add(1, 10) // distance 10, measured
+	c := b.Curve()
+	if c.Measured() != 1 {
+		t.Fatalf("measured = %d, want 1", c.Measured())
+	}
+	if c.HitRate(10) != 1 {
+		t.Fatalf("HitRate(10) = %v, want 1 (warmed)", c.HitRate(10))
+	}
+}
+
+func TestReuseCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewCurveBuilder(64)
+	for i := 0; i < 2000; i++ {
+		b.Add(FileID(rng.Intn(50)), int64(rng.Intn(100)+1))
+	}
+	c := b.Curve()
+	last := -1.0
+	for cap := int64(0); cap <= 3000; cap += 100 {
+		h := c.HitRate(cap)
+		if h < last {
+			t.Fatalf("hit rate decreased at capacity %d", cap)
+		}
+		last = h
+	}
+}
+
+func TestReuseBuilderGrows(t *testing.T) {
+	b := NewCurveBuilder(16) // force several growth cycles
+	for i := 0; i < 500; i++ {
+		b.Add(FileID(i%7), 10)
+	}
+	c := b.Curve()
+	// With 7 files of 10 bytes, every re-reference fits in 70 bytes.
+	if got := c.HitRate(70); math.Abs(got-float64(500-7)/500) > 1e-12 {
+		t.Fatalf("HitRate(70) = %v", got)
+	}
+}
+
+// Property: for any access stream (file sizes below the capacities probed),
+// the one-pass curve agrees exactly with a direct LRU simulation at every
+// probed capacity, including warm-up handling.
+func TestPropertyCurveMatchesLRU(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nfiles := 5 + rng.Intn(40)
+		sizes := make([]int64, nfiles)
+		for i := range sizes {
+			sizes[i] = int64(rng.Intn(200) + 1)
+		}
+		accesses := make([]FileID, 400)
+		for i := range accesses {
+			accesses[i] = FileID(rng.Intn(nfiles))
+		}
+		warm := rng.Intn(200)
+
+		builder := NewCurveBuilder(len(accesses))
+		for i, id := range accesses {
+			if i < warm {
+				builder.Warm(id, sizes[id])
+			} else {
+				builder.Add(id, sizes[id])
+			}
+		}
+		curve := builder.Curve()
+
+		for _, capacity := range []int64{250, 500, 1000, 4000} {
+			lru := NewLRU(capacity)
+			for i, id := range accesses {
+				if i < warm {
+					lru.Warm(id, sizes[id])
+				} else {
+					lru.Access(id, sizes[id])
+				}
+			}
+			if math.Abs(curve.HitRate(capacity)-lru.HitRate()) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReuseEmptyCurve(t *testing.T) {
+	c := NewCurveBuilder(4).Curve()
+	if c.HitRate(1000) != 0 || c.MissRate(1000) != 1 {
+		t.Fatal("empty curve should report zero hits")
+	}
+}
+
+func TestReuseNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	NewCurveBuilder(4).Add(1, -1)
+}
+
+func BenchmarkCurveBuilder(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]FileID, 100000)
+	sizes := make([]int64, 100000)
+	for i := range ids {
+		ids[i] = FileID(rng.Intn(5000))
+		sizes[i] = int64(rng.Intn(50000) + 1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb := NewCurveBuilder(len(ids))
+		for j, id := range ids {
+			cb.Add(id, sizes[j])
+		}
+		cb.Curve()
+	}
+}

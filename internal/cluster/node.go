@@ -1,0 +1,92 @@
+// Package cluster models the hardware of one cluster node as used by the
+// trace-driven simulator of Section 5: a CPU, a disk, and full-duplex
+// network interfaces, each a contended FCFS service center, plus the node's
+// main-memory file cache and its open-connection count (the load metric of
+// both L2S and LARD).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Node is one cluster workstation.
+type Node struct {
+	ID    int
+	CPU   *sim.Resource
+	Disk  *sim.Resource
+	NIIn  *sim.Resource // receive side of the network interface
+	NIOut *sim.Resource // send side of the network interface
+	Cache *cache.LRU
+
+	open     int // open connections being serviced (the load metric)
+	loadHist stats.TimeWeighted
+	eng      *sim.Engine
+
+	failed bool
+}
+
+// NewNode builds a node with the given cache capacity in bytes.
+func NewNode(eng *sim.Engine, id int, cacheBytes int64) *Node {
+	n := &Node{
+		ID:    id,
+		CPU:   sim.NewResource(eng, fmt.Sprintf("cpu%d", id), 1),
+		Disk:  sim.NewResource(eng, fmt.Sprintf("disk%d", id), 1),
+		NIIn:  sim.NewResource(eng, fmt.Sprintf("ni-in%d", id), 1),
+		NIOut: sim.NewResource(eng, fmt.Sprintf("ni-out%d", id), 1),
+		Cache: cache.NewLRU(cacheBytes),
+		eng:   eng,
+	}
+	n.loadHist.Set(0, 0)
+	return n
+}
+
+// Load returns the node's current number of open connections.
+func (n *Node) Load() int { return n.open }
+
+// AddConnection registers a newly assigned connection.
+func (n *Node) AddConnection() {
+	n.open++
+	n.loadHist.Set(float64(n.open), n.eng.Now())
+}
+
+// RemoveConnection registers a completed connection.
+func (n *Node) RemoveConnection() {
+	if n.open == 0 {
+		panic(fmt.Sprintf("cluster: node %d closing a connection it does not have", n.ID))
+	}
+	n.open--
+	n.loadHist.Set(float64(n.open), n.eng.Now())
+}
+
+// MeanLoad returns the time-averaged open-connection count.
+func (n *Node) MeanLoad() float64 { return n.loadHist.Average(n.eng.Now()) }
+
+// MaxLoad returns the peak open-connection count.
+func (n *Node) MaxLoad() float64 { return n.loadHist.Max() }
+
+// CPUIdle returns the fraction of time the CPU has been idle.
+func (n *Node) CPUIdle() float64 { return 1 - n.CPU.Utilization() }
+
+// Fail marks the node as crashed. Resources keep draining queued work (the
+// simulator does not rewind history), but policies must stop selecting the
+// node, and new arrivals at it are aborted.
+func (n *Node) Fail() { n.failed = true }
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool { return n.failed }
+
+// ResetStats starts a fresh measurement interval on all of the node's
+// resources and its cache, preserving queue and cache state. Used at the
+// end of cache warm-up.
+func (n *Node) ResetStats() {
+	n.CPU.ResetStats()
+	n.Disk.ResetStats()
+	n.NIIn.ResetStats()
+	n.NIOut.ResetStats()
+	n.Cache.ResetStats()
+	n.loadHist.Reset(n.eng.Now())
+}

@@ -1,0 +1,335 @@
+// Package core implements L2S, the Locality and Load balancing Server that
+// is the paper's primary contribution (Section 4): a fully distributed
+// locality-conscious request-distribution algorithm in which every node
+// accepts, parses, forwards, and services requests — no front-end, no
+// single point of failure.
+//
+// Connections arrive at nodes via round-robin DNS. For each file the
+// cluster maintains a server set: the nodes allowed to cache and serve it.
+// An initial node services a request itself when it is not overloaded and
+// is in the file's server set (or the file has never been requested);
+// otherwise the request is forwarded to the least-loaded member of the set.
+// When both the initial node and that member are overloaded, the
+// least-loaded node in the whole cluster joins the set (replication grows);
+// sets shrink again when their assigned node is underloaded and the set has
+// been stable for a while.
+//
+// Nodes learn about each other through periodic control messages: a node
+// broadcasts its load whenever it has drifted by BroadcastDelta connections
+// since its last broadcast, and every server-set modification is broadcast
+// by the node that made it. Distribution decisions therefore use exact
+// knowledge of the deciding node's own load but slightly stale views of
+// everyone else's — the price of decentralization that Section 5 shows to
+// be small.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Options are L2S's tunables with the values used in the paper's
+// evaluation.
+type Options struct {
+	// T is the overload threshold: a node with more than T open
+	// connections is overloaded (paper: 20).
+	T int
+	// LowT is the underload threshold t used when shrinking server sets
+	// (paper: 10).
+	LowT int
+	// BroadcastDelta is the load change, in connections, that triggers a
+	// load broadcast (Section 5.1: 4).
+	BroadcastDelta int
+	// ShrinkAfter is how long a server set must remain unmodified before
+	// it may shrink, in seconds.
+	ShrinkAfter float64
+	// Oracle disables dissemination staleness: decisions read true remote
+	// loads. It quantifies the cost of gossip in the sensitivity study and
+	// is not part of the paper's L2S.
+	Oracle bool
+}
+
+// DefaultOptions returns the parameters of the paper's evaluation: T=20,
+// t=10, broadcast on a drift of 4 connections, sets stable for 20 s before
+// shrinking.
+func DefaultOptions() Options {
+	return Options{T: 20, LowT: 10, BroadcastDelta: 4, ShrinkAfter: 20}
+}
+
+// L2S implements policy.Distributor.
+type L2S struct {
+	env  policy.Env
+	opts Options
+
+	rr *policy.RoundRobin
+
+	// seen[n] is the last load value node n broadcast; lastSent[n] is the
+	// value at the time of that broadcast (they differ only while a
+	// broadcast is in flight).
+	seen     []int
+	lastSent []int
+	inFlight []bool
+
+	sets map[policy.FileID]*serverSet
+	all  []int
+
+	// Statistics.
+	loadBroadcasts uint64
+	setBroadcasts  uint64
+	grows, shrinks uint64
+}
+
+type serverSet struct {
+	nodes    []int
+	modified float64
+}
+
+func (s *serverSet) contains(n int) bool {
+	for _, v := range s.nodes {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+// New builds an L2S distributor over the environment's cluster.
+func New(env policy.Env, opts Options) *L2S {
+	if opts.T <= 0 || opts.LowT < 0 || opts.LowT > opts.T {
+		panic(fmt.Sprintf("core: bad L2S thresholds %+v", opts))
+	}
+	if opts.BroadcastDelta <= 0 {
+		panic(fmt.Sprintf("core: BroadcastDelta must be positive, got %d", opts.BroadcastDelta))
+	}
+	n := env.N()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return &L2S{
+		env:      env,
+		opts:     opts,
+		rr:       policy.NewRoundRobin(env),
+		seen:     make([]int, n),
+		lastSent: make([]int, n),
+		inFlight: make([]bool, n),
+		sets:     make(map[policy.FileID]*serverSet),
+		all:      all,
+	}
+}
+
+// Name implements policy.Distributor.
+func (l *L2S) Name() string { return "l2s" }
+
+// FrontEnd implements policy.Distributor: L2S has none.
+func (l *L2S) FrontEnd() int { return -1 }
+
+// Initial implements policy.Distributor: round-robin DNS.
+func (l *L2S) Initial(f policy.FileID) int { return l.rr.Next() }
+
+// loadAs returns node n's load as observed from node observer: exact for
+// the observer itself, the last broadcast value for everyone else.
+func (l *L2S) loadAs(observer, n int) int {
+	if n == observer || l.opts.Oracle {
+		return l.env.Load(n)
+	}
+	return l.seen[n]
+}
+
+// Service implements the L2S distribution algorithm, executed at the
+// initial node with the information visible there.
+func (l *L2S) Service(initial int, f policy.FileID) int {
+	view := func(n int) int { return l.loadAs(initial, n) }
+	overloaded := func(n int) bool { return view(n) > l.opts.T }
+
+	set := l.sets[f]
+	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
+		// First request for this file (or all its servers crashed): the
+		// initial node takes it unless it is overloaded, in which case the
+		// least-loaded node in the cluster does.
+		svc := initial
+		if overloaded(initial) || !l.env.Alive(initial) {
+			if m := l.argminAll(view); m >= 0 {
+				svc = m
+			}
+		}
+		l.sets[f] = &serverSet{nodes: []int{svc}, modified: l.env.Now()}
+		l.broadcastSetChange(initial)
+		l.grows++
+		return svc
+	}
+
+	var svc int
+	switch {
+	case set.contains(initial) && !overloaded(initial) && l.env.Alive(initial):
+		// Serve locally: the file is (believed) cached here and we have
+		// capacity.
+		svc = initial
+	default:
+		// Forward to the least-loaded member of the server set...
+		n := l.leastLoadedMember(set, view)
+		if overloaded(initial) && overloaded(n) {
+			// ... unless everyone relevant is overloaded: grow the set with
+			// the least-loaded node in the whole cluster.
+			if m := l.argminAll(view); m >= 0 && !set.contains(m) {
+				set.nodes = append(set.nodes, m)
+				set.modified = l.env.Now()
+				l.broadcastSetChange(initial)
+				l.grows++
+				n = m
+			}
+		}
+		svc = n
+	}
+
+	// Replication control: shrink a stable set whose chosen server is
+	// underloaded.
+	if len(set.nodes) > 1 && view(svc) < l.opts.LowT &&
+		l.env.Now()-set.modified > l.opts.ShrinkAfter {
+		l.removeMostLoaded(set, svc, view)
+		set.modified = l.env.Now()
+		l.broadcastSetChange(initial)
+		l.shrinks++
+	}
+	return svc
+}
+
+func (l *L2S) allDead(nodes []int) bool {
+	for _, n := range nodes {
+		if l.env.Alive(n) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *L2S) argminAll(view func(int) int) int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, n := range l.all {
+		if !l.env.Alive(n) {
+			continue
+		}
+		if v := view(n); v < bestLoad {
+			best, bestLoad = n, v
+		}
+	}
+	return best
+}
+
+func (l *L2S) leastLoadedMember(set *serverSet, view func(int) int) int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, n := range set.nodes {
+		if !l.env.Alive(n) {
+			continue
+		}
+		if v := view(n); v < bestLoad {
+			best, bestLoad = n, v
+		}
+	}
+	if best < 0 {
+		return set.nodes[0]
+	}
+	return best
+}
+
+func (l *L2S) removeMostLoaded(set *serverSet, keep int, view func(int) int) {
+	worst, worstLoad, at := -1, -1, -1
+	for i, n := range set.nodes {
+		if n == keep {
+			continue
+		}
+		if v := view(n); v > worstLoad {
+			worst, worstLoad, at = n, v, i
+		}
+	}
+	if worst >= 0 {
+		set.nodes = append(set.nodes[:at], set.nodes[at+1:]...)
+	}
+}
+
+// broadcastSetChange charges the cost of disseminating a server-set
+// modification. Set contents are shared memory in the simulator (the
+// real system replicates them), so only the cost and the counter matter.
+func (l *L2S) broadcastSetChange(from int) {
+	l.setBroadcasts++
+	l.env.BroadcastControl(from, nil)
+}
+
+// maybeBroadcastLoad broadcasts node n's load if it has drifted by at least
+// BroadcastDelta connections since the last broadcast.
+func (l *L2S) maybeBroadcastLoad(n int) {
+	if l.inFlight[n] || !l.env.Alive(n) {
+		return
+	}
+	cur := l.env.Load(n)
+	drift := cur - l.lastSent[n]
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift < l.opts.BroadcastDelta {
+		return
+	}
+	l.inFlight[n] = true
+	l.lastSent[n] = cur
+	l.loadBroadcasts++
+	l.env.BroadcastControl(n, func() {
+		l.seen[n] = cur
+		l.inFlight[n] = false
+		// Load may have drifted again while the broadcast was in flight.
+		l.maybeBroadcastLoad(n)
+	})
+}
+
+// OnAssign implements policy.Distributor.
+func (l *L2S) OnAssign(n int) { l.maybeBroadcastLoad(n) }
+
+// OnComplete implements policy.Distributor.
+func (l *L2S) OnComplete(n int, f policy.FileID) { l.maybeBroadcastLoad(n) }
+
+// Stats summarizes L2S's control behavior.
+type Stats struct {
+	LoadBroadcasts uint64
+	SetBroadcasts  uint64
+	SetGrows       uint64
+	SetShrinks     uint64
+	SetSizes       map[int]int // histogram of current server-set sizes
+	ReplicatedFrac float64     // fraction of files with more than one server
+}
+
+// Stats returns control-plane statistics.
+func (l *L2S) Stats() Stats {
+	sizes := make(map[int]int)
+	replicated := 0
+	for _, s := range l.sets {
+		sizes[len(s.nodes)]++
+		if len(s.nodes) > 1 {
+			replicated++
+		}
+	}
+	var frac float64
+	if len(l.sets) > 0 {
+		frac = float64(replicated) / float64(len(l.sets))
+	}
+	return Stats{
+		LoadBroadcasts: l.loadBroadcasts,
+		SetBroadcasts:  l.setBroadcasts,
+		SetGrows:       l.grows,
+		SetShrinks:     l.shrinks,
+		SetSizes:       sizes,
+		ReplicatedFrac: frac,
+	}
+}
+
+// ServerSet returns a copy of the current server set for a file, for tests.
+func (l *L2S) ServerSet(f policy.FileID) []int {
+	s := l.sets[f]
+	if s == nil {
+		return nil
+	}
+	out := make([]int, len(s.nodes))
+	copy(out, s.nodes)
+	return out
+}
+
+var _ policy.Distributor = (*L2S)(nil)

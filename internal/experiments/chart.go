@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// chartMarks give each series a distinct plotting glyph.
+var chartMarks = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Chart renders the figure as an ASCII scatter/line chart of the given
+// plot-area dimensions — enough to eyeball the curves of Figures 7-10 in a
+// terminal without leaving the repository.
+func (f Figure) Chart(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(f.X) == 0 || len(f.Series) == 0 {
+		return f.ID + ": (no data)\n"
+	}
+
+	xmin, xmax := minMax(f.X)
+	var ymin, ymax float64 = math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		lo, hi := minMax(s.Values)
+		ymin = math.Min(ymin, lo)
+		ymax = math.Max(ymax, hi)
+	}
+	if ymin > 0 {
+		ymin = 0 // anchor throughput-like charts at zero
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, mark byte) {
+		col := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		row := int(math.Round((y - ymin) / (ymax - ymin) * float64(height-1)))
+		row = height - 1 - row // origin at the bottom
+		if col >= 0 && col < width && row >= 0 && row < height && grid[row][col] == ' ' {
+			// First series wins coincident cells, so every curve stays
+			// visible in legend order.
+			grid[row][col] = mark
+		}
+	}
+	for si, s := range f.Series {
+		mark := chartMarks[si%len(chartMarks)]
+		for i, v := range s.Values {
+			if i < len(f.X) {
+				plot(f.X[i], v, mark)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	for r, row := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%10.4g", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%10.4g", ymin)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, row)
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*g%*g\n", strings.Repeat(" ", 10), width/2, xmin, width-width/2, xmax)
+	b.WriteString(strings.Repeat(" ", 12))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "%c=%s  ", chartMarks[si%len(chartMarks)], s.Label)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}

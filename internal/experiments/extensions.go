@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/policy"
+	"repro/internal/queuemodel"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// PolicyRow is one line of the arrival/distribution policy comparison.
+type PolicyRow struct {
+	Policy     string
+	Throughput float64
+	MissRate   float64
+	Forwarded  float64
+	Imbalance  float64
+	CPUIdle    float64
+}
+
+// PolicyComparison contrasts the full policy spectrum on one workload: the
+// three servers of the paper's evaluation plus the strawmen its earlier
+// sections discuss — strict locality by hashing (Section 1: "can produce
+// severe load imbalance"), random arrival, and round-robin DNS with
+// translation caching (Section 2: "can cause significant load imbalance").
+func PolicyComparison(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
+	type entry struct {
+		name string
+		cfg  func() server.Config
+	}
+	custom := func(mk func(env policy.Env) policy.Distributor) func() server.Config {
+		return func() server.Config {
+			cfg := server.DefaultConfig(server.CustomServer, nodes)
+			cfg.CustomPolicy = mk
+			return cfg
+		}
+	}
+	entries := []entry{
+		{"l2s", func() server.Config { return server.DefaultConfig(server.L2SServer, nodes) }},
+		{"lard", func() server.Config { return server.DefaultConfig(server.LARDServer, nodes) }},
+		{"traditional", func() server.Config { return server.DefaultConfig(server.Traditional, nodes) }},
+		{"hashing", custom(func(env policy.Env) policy.Distributor { return policy.NewHashing(env) })},
+		{"random", custom(func(env policy.Env) policy.Distributor { return policy.NewRandom(env, 7) })},
+		{"cached-dns", custom(func(env policy.Env) policy.Distributor { return policy.NewCachedDNS(env, 50) })},
+	}
+	var rows []PolicyRow
+	for _, e := range entries {
+		r, err := server.Run(e.cfg(), tr)
+		if err != nil {
+			return nil, "", fmt.Errorf("experiments: policy %s: %w", e.name, err)
+		}
+		rows = append(rows, PolicyRow{
+			Policy:     e.name,
+			Throughput: r.Throughput,
+			MissRate:   r.MissRate,
+			Forwarded:  r.ForwardedFrac,
+			Imbalance:  r.LoadImbalance,
+			CPUIdle:    r.CPUIdle,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy comparison on %s, %d nodes\n", tr.Name, nodes)
+	fmt.Fprintf(&b, "  %-12s %10s %8s %8s %10s %8s\n",
+		"policy", "req/s", "miss%", "fwd%", "imbalance", "idle%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %10.0f %8.1f %8.1f %10.2f %8.1f\n",
+			r.Policy, r.Throughput, r.MissRate*100, r.Forwarded*100, r.Imbalance, r.CPUIdle*100)
+	}
+	return rows, b.String(), nil
+}
+
+// LARDVariants contrasts plain LARD (one server per target, reassignment
+// only on extreme imbalance) with LARD/R (replicated server sets), the
+// distinction Pai et al. draw and the paper inherits. For HTTP/1.0
+// workloads the two behave similarly — replication matters when hot
+// documents outgrow one node, which the thresholds make rare at these
+// loads.
+func LARDVariants(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
+	var rows []PolicyRow
+	for _, replication := range []bool{false, true} {
+		cfg := server.DefaultConfig(server.LARDServer, nodes)
+		cfg.LARD.Replication = replication
+		r, err := server.Run(cfg, tr)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, PolicyRow{
+			Policy:     r.System,
+			Throughput: r.Throughput,
+			MissRate:   r.MissRate,
+			Forwarded:  r.ForwardedFrac,
+			Imbalance:  r.LoadImbalance,
+			CPUIdle:    r.CPUIdle,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "lard variants on %s, %d nodes\n", tr.Name, nodes)
+	fmt.Fprintf(&b, "  %-12s %10s %8s %10s\n", "variant", "req/s", "miss%", "imbalance")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %10.0f %8.1f %10.2f\n",
+			r.Policy, r.Throughput, r.MissRate*100, r.Imbalance)
+	}
+	return rows, b.String(), nil
+}
+
+// PersistentRow is one line of the HTTP/1.0-versus-HTTP/1.1 study.
+type PersistentRow struct {
+	System     string
+	Mode       string
+	Throughput float64
+	Forwarded  float64
+	LatencyP50 float64
+}
+
+// PersistentStudy contrasts per-request connections (HTTP/1.0, the paper's
+// evaluation setting) with persistent connections handled by back-end
+// forwarding (the HTTP/1.1 adaptation Section 4 defers to Aron et al.).
+// The headline effect: persistence multiplies LARD's front-end ceiling by
+// the requests-per-connection factor, while L2S — which has no per-request
+// front-end cost to amortize — holds its throughput and halves latency.
+func PersistentStudy(tr *trace.Trace, nodes int, reqsPerConn float64) ([]PersistentRow, string, error) {
+	var rows []PersistentRow
+	for _, sys := range []server.System{server.L2SServer, server.LARDServer, server.Traditional} {
+		for _, persistent := range []bool{false, true} {
+			cfg := server.DefaultConfig(sys, nodes)
+			cfg.Persistent = persistent
+			cfg.ReqsPerConn = reqsPerConn
+			r, err := server.Run(cfg, tr)
+			if err != nil {
+				return nil, "", err
+			}
+			mode := "http/1.0"
+			if persistent {
+				mode = "http/1.1"
+			}
+			rows = append(rows, PersistentRow{
+				System:     r.System,
+				Mode:       mode,
+				Throughput: r.Throughput,
+				Forwarded:  r.ForwardedFrac,
+				LatencyP50: r.LatencyP50,
+			})
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "persistent connections on %s, %d nodes, mean %.0f requests/connection\n",
+		tr.Name, nodes, reqsPerConn)
+	fmt.Fprintf(&b, "  %-12s %-9s %10s %8s %12s\n", "system", "mode", "req/s", "fwd%", "p50 latency")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %-9s %10.0f %8.1f %9.2f ms\n",
+			r.System, r.Mode, r.Throughput, r.Forwarded*100, r.LatencyP50*1000)
+	}
+	return rows, b.String(), nil
+}
+
+// LatencyStudy drives the simulator in open-loop mode across offered loads
+// and compares the measured mean response time with the analytic model's
+// M/M/1-network Latency at the same loads — the response-time counterpart
+// of the throughput bounds (the paper focuses on throughput because WAN
+// latencies dwarf server latencies; this study validates the simulator
+// against the model's queueing formulas anyway).
+func LatencyStudy(tr *trace.Trace, nodes int, rates []float64) (Figure, string, error) {
+	ch := trace.Characterize(tr)
+	opts := DefaultOptions()
+	p := queuemodelParams(ch, nodes, opts)
+	hlc := HitRateAtCapacity(tr, int64(p.TotalConsciousCache()))
+	h := HitRateAtCapacity(tr, int64(opts.Replication*float64(opts.CacheBytes)))
+
+	fig := Figure{
+		ID:     "latency-" + tr.Name,
+		Title:  fmt.Sprintf("mean response time vs offered load, %s, %d nodes (ms)", tr.Name, nodes),
+		XLabel: "req/s",
+		YLabel: "latency ms",
+	}
+	var sim, model []float64
+	for _, rate := range rates {
+		cfg := server.DefaultConfig(server.L2SServer, nodes)
+		cfg.ArrivalRate = rate
+		r, err := server.Run(cfg, tr)
+		if err != nil {
+			return Figure{}, "", err
+		}
+		fig.X = append(fig.X, rate)
+		sim = append(sim, r.LatencyMean*1000)
+		model = append(model, p.Latency(rate, hlc, p.ForwardFraction(h))*1000)
+	}
+	fig.Series = []Series{
+		{Label: "simulated", Values: sim},
+		{Label: "model", Values: model},
+	}
+	return fig, fig.Render(), nil
+}
+
+// queuemodelParams instantiates the model for a characterized workload.
+func queuemodelParams(ch trace.Characteristics, nodes int, opts Options) queuemodel.Params {
+	p := queuemodel.DefaultParams()
+	p.Nodes = nodes
+	p.CacheBytes = opts.CacheBytes
+	p.Replication = opts.Replication
+	p.AvgFileKB = ch.AvgReqKB
+	return p
+}
+
+// HeterogeneousStudy relaxes the paper's "all cluster nodes are equally
+// powerful" assumption: half the cluster runs at full speed, half at the
+// given fraction. Connection-count load balancing adapts automatically —
+// slower nodes hold their T-connection budget longer, so new work drifts
+// to the fast nodes — which is why both L2S and LARD degrade gracefully
+// while a speed-oblivious policy would track the slowest node.
+func HeterogeneousStudy(tr *trace.Trace, nodes int, slowFactor float64) ([]PolicyRow, string, error) {
+	speeds := make([]float64, nodes)
+	for i := range speeds {
+		speeds[i] = 1
+		if i >= nodes/2 {
+			speeds[i] = slowFactor
+		}
+	}
+	var rows []PolicyRow
+	for _, sys := range []server.System{server.L2SServer, server.LARDServer, server.Traditional} {
+		for _, het := range []bool{false, true} {
+			cfg := server.DefaultConfig(sys, nodes)
+			name := sys.String() + "/homogeneous"
+			if het {
+				cfg.CPUSpeeds = speeds
+				name = fmt.Sprintf("%s/half at %.0f%%", sys, slowFactor*100)
+			}
+			r, err := server.Run(cfg, tr)
+			if err != nil {
+				return nil, "", err
+			}
+			rows = append(rows, PolicyRow{
+				Policy:     name,
+				Throughput: r.Throughput,
+				MissRate:   r.MissRate,
+				Imbalance:  r.LoadImbalance,
+				CPUIdle:    r.CPUIdle,
+			})
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "heterogeneous cluster on %s, %d nodes\n", tr.Name, nodes)
+	fmt.Fprintf(&b, "  %-24s %10s %10s\n", "configuration", "req/s", "imbalance")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %10.0f %10.2f\n", r.Policy, r.Throughput, r.Imbalance)
+	}
+	return rows, b.String(), nil
+}
+
+// FailoverTimeline records throughput over time while one L2S node
+// crashes mid-run, producing the time series behind the availability
+// claim (rendered with Figure.Chart in cmd/experiments).
+func FailoverTimeline(tr *trace.Trace, nodes, failNode int) (Figure, error) {
+	cfg := server.DefaultConfig(server.L2SServer, nodes)
+	cfg.FailNode = failNode
+	cfg.FailAtFrac = 0.5
+	cfg.TimelineBucket = 0.25
+	r, err := server.Run(cfg, tr)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{
+		ID:     "failover-timeline",
+		Title:  fmt.Sprintf("L2S throughput while node %d crashes (%s, %d nodes)", failNode, tr.Name, nodes),
+		XLabel: "time_s",
+		YLabel: "req/s",
+	}
+	vals := make([]float64, len(r.Timeline))
+	copy(vals, r.Timeline)
+	for i := range vals {
+		fig.X = append(fig.X, float64(i)*cfg.TimelineBucket)
+	}
+	fig.Series = []Series{{Label: "l2s", Values: vals}}
+	return fig, nil
+}
+
+// Section6Study compares the original LARD front-end, the dispatcher-based
+// variant of Aron et al. (USENIX 2000) that the paper's Section 6
+// discusses, and L2S. The dispatcher escapes the accept/parse ceiling but
+// keeps a central chokepoint; the paper's argument — "L2S has none of
+// these problems" — shows up as the ordering of the three columns.
+func Section6Study(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
+	var rows []PolicyRow
+	for _, sys := range []server.System{server.LARDServer, server.LARDDispatcher, server.L2SServer} {
+		cfg := server.DefaultConfig(sys, nodes)
+		r, err := server.Run(cfg, tr)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows, PolicyRow{
+			Policy:     r.System,
+			Throughput: r.Throughput,
+			MissRate:   r.MissRate,
+			Forwarded:  r.ForwardedFrac,
+			Imbalance:  r.LoadImbalance,
+			CPUIdle:    r.CPUIdle,
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "section 6: front-end LARD vs dispatcher LARD vs L2S (%s, %d nodes)\n", tr.Name, nodes)
+	fmt.Fprintf(&b, "  %-14s %10s %8s %8s %8s\n", "system", "req/s", "miss%", "fwd%", "idle%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %10.0f %8.1f %8.1f %8.1f\n",
+			r.Policy, r.Throughput, r.MissRate*100, r.Forwarded*100, r.CPUIdle*100)
+	}
+	return rows, b.String(), nil
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestModelAnchorConsistency(t *testing.T) {
+	tr := fastTrace(t, "calgary", 0.05)
+	curve := ReuseCurve(tr)
+	opts := DefaultOptions()
+	ch := trace.Characterize(tr)
+	for _, n := range []int{1, 8, 16} {
+		viaCurve := modelBound(curve, ch, n, opts)
+		// Recompute with direct LRU passes.
+		p := queuemodelParams(ch, n, opts)
+		hlc := HitRateAtCapacity(tr, int64(p.TotalConsciousCache()))
+		h := HitRateAtCapacity(tr, int64(opts.Replication*float64(opts.CacheBytes)))
+		direct := p.Bound(hlc, p.ForwardFraction(h)).RequestsPerSec
+		if viaCurve != direct {
+			t.Errorf("n=%d: curve %v != direct %v", n, viaCurve, direct)
+		}
+		t.Logf("n=%d model=%v", n, viaCurve)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// SensitivityResult is one row of an ablation sweep.
+type SensitivityResult struct {
+	Variant    string
+	Throughput float64
+	MissRate   float64
+	Forwarded  float64
+	Messages   uint64
+}
+
+func renderSensitivity(title string, rows []SensitivityResult) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "  %-24s %12s %8s %8s %10s\n", "variant", "req/s", "miss%", "fwd%", "messages")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %12.0f %8.1f %8.1f %10d\n",
+			r.Variant, r.Throughput, r.MissRate*100, r.Forwarded*100, r.Messages)
+	}
+	return b.String()
+}
+
+func runVariant(tr *trace.Trace, nodes int, variant string, mutate func(*server.Config)) (SensitivityResult, error) {
+	cfg := server.DefaultConfig(server.L2SServer, nodes)
+	mutate(&cfg)
+	r, err := server.Run(cfg, tr)
+	if err != nil {
+		return SensitivityResult{}, err
+	}
+	return SensitivityResult{
+		Variant:    variant,
+		Throughput: r.Throughput,
+		MissRate:   r.MissRate,
+		Forwarded:  r.ForwardedFrac,
+		Messages:   r.ControlMessages,
+	}, nil
+}
+
+// L2SSensitivity reproduces the Section 5.2 summary — "the performance of
+// L2S is only slightly affected by reasonable parameters of frequency of
+// broadcasts, messaging overhead, and network latency and bandwidth" — and
+// the design-choice ablations called out in DESIGN.md (gossip staleness,
+// thresholds, saturation window).
+func L2SSensitivity(tr *trace.Trace, nodes int) (map[string][]SensitivityResult, string, error) {
+	out := make(map[string][]SensitivityResult)
+	var b strings.Builder
+
+	sweep := func(group string, variants []struct {
+		name string
+		mut  func(*server.Config)
+	}) error {
+		for _, v := range variants {
+			r, err := runVariant(tr, nodes, v.name, v.mut)
+			if err != nil {
+				return err
+			}
+			out[group] = append(out[group], r)
+		}
+		b.WriteString(renderSensitivity("sensitivity/"+group, out[group]))
+		return nil
+	}
+
+	type variant = struct {
+		name string
+		mut  func(*server.Config)
+	}
+
+	if err := sweep("broadcast-delta", []variant{
+		{"delta=1", func(c *server.Config) { c.L2S.BroadcastDelta = 1 }},
+		{"delta=2", func(c *server.Config) { c.L2S.BroadcastDelta = 2 }},
+		{"delta=4 (paper)", func(c *server.Config) {}},
+		{"delta=8", func(c *server.Config) { c.L2S.BroadcastDelta = 8 }},
+		{"delta=16", func(c *server.Config) { c.L2S.BroadcastDelta = 16 }},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	if err := sweep("messaging-overhead", []variant{
+		{"0.5x", func(c *server.Config) { c.Net.MsgCPU /= 2; c.Net.MsgNI /= 2 }},
+		{"1x (paper)", func(c *server.Config) {}},
+		{"2x", func(c *server.Config) { c.Net.MsgCPU *= 2; c.Net.MsgNI *= 2 }},
+		{"4x", func(c *server.Config) { c.Net.MsgCPU *= 4; c.Net.MsgNI *= 4 }},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	if err := sweep("network", []variant{
+		{"1us switch (paper)", func(c *server.Config) {}},
+		{"10us switch", func(c *server.Config) { c.Net.SwitchLatency = 10e-6 }},
+		{"100us switch", func(c *server.Config) { c.Net.SwitchLatency = 100e-6 }},
+		{"half bandwidth", func(c *server.Config) { c.Net.LinkKBps /= 2 }},
+		{"quarter bandwidth", func(c *server.Config) { c.Net.LinkKBps /= 4 }},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	if err := sweep("staleness", []variant{
+		{"gossip (paper)", func(c *server.Config) {}},
+		{"oracle loads", func(c *server.Config) { c.L2S.Oracle = true }},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	if err := sweep("thresholds", []variant{
+		{"T=10 t=5", func(c *server.Config) { c.L2S.T = 10; c.L2S.LowT = 5 }},
+		{"T=20 t=10 (paper)", func(c *server.Config) {}},
+		{"T=40 t=20", func(c *server.Config) { c.L2S.T = 40; c.L2S.LowT = 20 }},
+		{"T=80 t=40", func(c *server.Config) { c.L2S.T = 80; c.L2S.LowT = 40 }},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	if err := sweep("window", []variant{
+		{"w=6", func(c *server.Config) { c.WindowPerNode = 6 }},
+		{"w=12 (default)", func(c *server.Config) {}},
+		{"w=18", func(c *server.Config) { c.WindowPerNode = 18 }},
+		{"w=24", func(c *server.Config) { c.WindowPerNode = 24 }},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	return out, b.String(), nil
+}
+
+// MemoryScaling reproduces the Section 5.2 memory observation: larger
+// memories help the traditional server enormously (its miss rate falls),
+// barely move L2S, and can never lift LARD past its front-end ceiling —
+// "for some of our traces, the throughput of the traditional server becomes
+// higher than that of the LARD server for larger memories (128 MB) and
+// numbers of nodes (8 or more)".
+func MemoryScaling(tr *trace.Trace, nodes []int) ([]Figure, string, error) {
+	var figs []Figure
+	var b strings.Builder
+	for _, mem := range []int64{32 << 20, 128 << 20} {
+		fig := Figure{
+			ID:     fmt.Sprintf("memory-%dmb-%s", mem>>20, tr.Name),
+			Title:  fmt.Sprintf("throughputs for %s with %d MB caches", tr.Name, mem>>20),
+			XLabel: "nodes",
+			YLabel: "requests/sec",
+			X:      nodesAsFloats(nodes),
+		}
+		for _, sys := range systems {
+			var vals []float64
+			for _, n := range nodes {
+				cfg := server.DefaultConfig(sys, n)
+				cfg.CacheBytes = mem
+				r, err := server.Run(cfg, tr)
+				if err != nil {
+					return nil, "", err
+				}
+				vals = append(vals, r.Throughput)
+			}
+			fig.Series = append(fig.Series, Series{Label: sys.String(), Values: vals})
+		}
+		figs = append(figs, fig)
+		b.WriteString(fig.Render())
+	}
+	return figs, b.String(), nil
+}
+
+// FailoverStudy quantifies the availability claim of Section 4: crash one
+// node mid-run and compare how much service survives under L2S (any node)
+// versus LARD (the front-end).
+func FailoverStudy(tr *trace.Trace, nodes int) (string, error) {
+	var b strings.Builder
+	b.WriteString("failover: one node crashes halfway through the run\n")
+	cases := []struct {
+		name string
+		sys  server.System
+		fail int
+	}{
+		{"l2s, node 3 fails", server.L2SServer, 3},
+		{"lard, back-end 3 fails", server.LARDServer, 3},
+		{"lard, front-end fails", server.LARDServer, 0},
+	}
+	for _, c := range cases {
+		cfg := server.DefaultConfig(c.sys, nodes)
+		cfg.FailNode = c.fail
+		cfg.FailAtFrac = 0.5
+		r, err := server.Run(cfg, tr)
+		if err != nil {
+			return "", err
+		}
+		served := float64(r.Completed) / float64(r.Completed+r.Aborted) * 100
+		fmt.Fprintf(&b, "  %-26s served=%5.1f%%  aborted=%d  throughput=%.0f\n",
+			c.name, served, r.Aborted, r.Throughput)
+	}
+	return b.String(), nil
+}

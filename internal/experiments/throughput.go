@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// TraceRun holds everything measured for one trace across cluster sizes —
+// the raw material of Figures 7-10 and the Section 5.2 metrics.
+type TraceRun struct {
+	Trace   string
+	Char    trace.Characteristics
+	SeqMiss float64 // sequential-server miss rate at 32 MB
+	Nodes   []int
+
+	Model   []float64                  // model bound per cluster size
+	Results map[string][]server.Result // system name -> per-cluster-size results
+}
+
+// systems are the three simulated servers, in the paper's plotting order.
+var systems = []server.System{server.L2SServer, server.LARDServer, server.Traditional}
+
+// RunTrace simulates all three systems over one paper trace for every
+// cluster size in opts and computes the per-size model bound.
+func RunTrace(name string, opts Options) (*TraceRun, error) {
+	spec, err := trace.PaperTrace(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Generate(spec.Scaled(opts.Scale))
+	if err != nil {
+		return nil, err
+	}
+	return RunWorkload(tr, opts)
+}
+
+// RunWorkload is RunTrace for an arbitrary, already-generated workload.
+func RunWorkload(tr *trace.Trace, opts Options) (*TraceRun, error) {
+	curve := ReuseCurve(tr)
+	run := &TraceRun{
+		Trace:   tr.Name,
+		Char:    trace.Characterize(tr),
+		SeqMiss: curve.MissRate(opts.CacheBytes),
+		Nodes:   opts.Nodes,
+		Results: make(map[string][]server.Result),
+	}
+	for _, n := range opts.Nodes {
+		run.Model = append(run.Model, modelBound(curve, run.Char, n, opts))
+		for _, sys := range systems {
+			cfg := server.DefaultConfig(sys, n)
+			cfg.CacheBytes = opts.CacheBytes
+			r, err := server.Run(cfg, tr)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on %d nodes: %w", sys, n, err)
+			}
+			run.Results[r.System] = append(run.Results[r.System], r)
+		}
+	}
+	return run, nil
+}
+
+// metric extracts one per-size series for a system.
+func (tr *TraceRun) metric(system string, f func(server.Result) float64) []float64 {
+	rs := tr.Results[system]
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = f(r)
+	}
+	return out
+}
+
+func nodesAsFloats(nodes []int) []float64 {
+	out := make([]float64, len(nodes))
+	for i, n := range nodes {
+		out[i] = float64(n)
+	}
+	return out
+}
+
+// ThroughputFigure renders the trace's Figure 7-10 curve set: model, L2S,
+// LARD, and traditional throughput versus cluster size.
+func (tr *TraceRun) ThroughputFigure(id string) Figure {
+	return Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("throughputs for the %s trace", tr.Trace),
+		XLabel: "nodes",
+		YLabel: "requests/sec",
+		X:      nodesAsFloats(tr.Nodes),
+		Series: []Series{
+			{Label: "model", Values: tr.Model},
+			{Label: "l2s", Values: tr.metric("l2s", func(r server.Result) float64 { return r.Throughput })},
+			{Label: "lard", Values: tr.metric("lard", func(r server.Result) float64 { return r.Throughput })},
+			{Label: "trad", Values: tr.metric("traditional", func(r server.Result) float64 { return r.Throughput })},
+		},
+	}
+}
+
+// MissRateFigure renders the Section 5.2 cache miss rate comparison.
+func (tr *TraceRun) MissRateFigure() Figure {
+	pct := func(f func(server.Result) float64) func(server.Result) float64 {
+		return func(r server.Result) float64 { return f(r) * 100 }
+	}
+	miss := func(r server.Result) float64 { return r.MissRate }
+	return Figure{
+		ID:     "missrates-" + tr.Trace,
+		Title:  fmt.Sprintf("cache miss rates for the %s trace (%%)", tr.Trace),
+		XLabel: "nodes",
+		YLabel: "miss %",
+		X:      nodesAsFloats(tr.Nodes),
+		Series: []Series{
+			{Label: "l2s", Values: tr.metric("l2s", pct(miss))},
+			{Label: "lard", Values: tr.metric("lard", pct(miss))},
+			{Label: "trad", Values: tr.metric("traditional", pct(miss))},
+		},
+	}
+}
+
+// IdleTimeFigure renders the Section 5.2 CPU idle time comparison.
+func (tr *TraceRun) IdleTimeFigure() Figure {
+	idle := func(r server.Result) float64 { return r.CPUIdle * 100 }
+	return Figure{
+		ID:     "idletimes-" + tr.Trace,
+		Title:  fmt.Sprintf("CPU idle times for the %s trace (%%)", tr.Trace),
+		XLabel: "nodes",
+		YLabel: "idle %",
+		X:      nodesAsFloats(tr.Nodes),
+		Series: []Series{
+			{Label: "l2s", Values: tr.metric("l2s", idle)},
+			{Label: "lard", Values: tr.metric("lard", idle)},
+			{Label: "trad", Values: tr.metric("traditional", idle)},
+		},
+	}
+}
+
+// ForwardingFigure renders the Section 5.2 forwarded-request comparison.
+func (tr *TraceRun) ForwardingFigure() Figure {
+	fwd := func(r server.Result) float64 { return r.ForwardedFrac * 100 }
+	return Figure{
+		ID:     "forwarding-" + tr.Trace,
+		Title:  fmt.Sprintf("forwarded requests for the %s trace (%%)", tr.Trace),
+		XLabel: "nodes",
+		YLabel: "forwarded %",
+		X:      nodesAsFloats(tr.Nodes),
+		Series: []Series{
+			{Label: "l2s", Values: tr.metric("l2s", fwd)},
+			{Label: "lard", Values: tr.metric("lard", fwd)},
+		},
+	}
+}
+
+// Summary condenses a run into the headline comparisons the paper quotes
+// at the largest cluster size.
+func (tr *TraceRun) Summary() string {
+	last := len(tr.Nodes) - 1
+	l2s := tr.Results["l2s"][last].Throughput
+	lard := tr.Results["lard"][last].Throughput
+	trad := tr.Results["traditional"][last].Throughput
+	model := tr.Model[last]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s at %d nodes: model=%.0f l2s=%.0f lard=%.0f trad=%.0f\n",
+		tr.Trace, tr.Nodes[last], model, l2s, lard, trad)
+	fmt.Fprintf(&b, "  l2s vs model: %.0f%% below bound\n", (1-l2s/model)*100)
+	fmt.Fprintf(&b, "  l2s vs lard: %+.0f%%   l2s vs trad: %+.0f%%\n",
+		(l2s/lard-1)*100, (l2s/trad-1)*100)
+	fmt.Fprintf(&b, "  sequential 32MB miss rate: %.1f%%\n", tr.SeqMiss*100)
+	return b.String()
+}
+
+// FigureIDs maps trace names to their paper figure numbers.
+var FigureIDs = map[string]string{
+	"calgary":  "figure7",
+	"clarknet": "figure8",
+	"nasa":     "figure9",
+	"rutgers":  "figure10",
+}

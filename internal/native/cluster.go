@@ -1,0 +1,144 @@
+package native
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ClusterConfig configures an in-process cluster: every node gets its own
+// loopback listener, cache, and state replica.
+type ClusterConfig struct {
+	Nodes        int
+	Store        Store
+	CacheBytes   int64
+	Opts         Options
+	MissPenalty  time.Duration
+	ServePenalty time.Duration
+}
+
+// Cluster is a running set of native nodes.
+type Cluster struct {
+	nodes     []*Node
+	servers   []*http.Server
+	listeners []net.Listener
+	urls      []string
+
+	rrMu sync.Mutex
+	rr   int
+}
+
+// StartCluster launches cfg.Nodes nodes on ephemeral loopback ports and
+// wires them together. Call Shutdown when done.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("native: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("native: cluster needs a store")
+	}
+	c := &Cluster{}
+
+	// Reserve a listener (and thus an address) per node first, so every
+	// node can be born knowing the full peer list.
+	for i := 0; i < cfg.Nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.closeListeners()
+			return nil, fmt.Errorf("native: listening: %w", err)
+		}
+		c.listeners = append(c.listeners, ln)
+		c.urls = append(c.urls, "http://"+ln.Addr().String())
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		node, err := NewNode(Config{
+			ID:           i,
+			Peers:        c.urls,
+			Store:        cfg.Store,
+			CacheBytes:   cfg.CacheBytes,
+			Opts:         cfg.Opts,
+			MissPenalty:  cfg.MissPenalty,
+			ServePenalty: cfg.ServePenalty,
+		})
+		if err != nil {
+			c.closeListeners()
+			return nil, err
+		}
+		srv := &http.Server{Handler: node.Handler()}
+		c.nodes = append(c.nodes, node)
+		c.servers = append(c.servers, srv)
+		go func(srv *http.Server, ln net.Listener) {
+			_ = srv.Serve(ln)
+		}(srv, c.listeners[i])
+	}
+	return c, nil
+}
+
+func (c *Cluster) closeListeners() {
+	for _, ln := range c.listeners {
+		_ = ln.Close()
+	}
+}
+
+// URLs returns each node's base URL.
+func (c *Cluster) URLs() []string {
+	out := make([]string, len(c.urls))
+	copy(out, c.urls)
+	return out
+}
+
+// Node returns the i'th node.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Len returns the cluster size.
+func (c *Cluster) Len() int { return len(c.nodes) }
+
+// NextURL returns node base URLs in round-robin order — the client-side
+// stand-in for round-robin DNS.
+func (c *Cluster) NextURL() string {
+	c.rrMu.Lock()
+	defer c.rrMu.Unlock()
+	u := c.urls[c.rr]
+	c.rr = (c.rr + 1) % len(c.urls)
+	return u
+}
+
+// Stop crashes one node — abruptly, as a real crash would: the listener
+// and all its connections close immediately. The rest of the cluster is
+// untouched.
+func (c *Cluster) Stop(i int) error {
+	return c.servers[i].Close()
+}
+
+// Shutdown stops every node.
+func (c *Cluster) Shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	for _, srv := range c.servers {
+		_ = srv.Shutdown(ctx)
+	}
+}
+
+// Totals aggregates node statistics.
+func (c *Cluster) Totals() Stats {
+	var total Stats
+	total.ID = -1
+	for _, n := range c.nodes {
+		s := n.Snapshot()
+		total.Served += s.Served
+		total.Proxied += s.Proxied
+		total.Received += s.Received
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Fallbacks += s.Fallbacks
+		total.GossipOut += s.GossipOut
+	}
+	if total.Hits+total.Misses > 0 {
+		total.HitRate = float64(total.Hits) / float64(total.Hits+total.Misses)
+	}
+	return total
+}

@@ -1,0 +1,110 @@
+package native
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Control-plane messages. Both are tiny JSON documents POSTed to the
+// peers' control endpoints — the HTTP equivalent of the paper's M-VIA
+// point-to-point broadcasts.
+
+// LoadUpdate announces a node's current open-request count.
+type LoadUpdate struct {
+	Node int `json:"node"`
+	Load int `json:"load"`
+}
+
+// SetUpdate announces a modification to a file's server set.
+type SetUpdate struct {
+	Path  string `json:"path"`
+	Nodes []int  `json:"nodes"`
+}
+
+const (
+	loadPath = "/control/load"
+	setPath  = "/control/set"
+)
+
+// gossiper pushes control messages to the cluster's peers.
+type gossiper struct {
+	self    int
+	peers   []string // base URLs, indexed by node id; peers[self] unused
+	client  *http.Client
+	timeout time.Duration
+
+	mu       sync.Mutex
+	sent     uint64
+	failures uint64
+}
+
+func newGossiper(self int, peers []string) *gossiper {
+	return &gossiper{
+		self:    self,
+		peers:   peers,
+		client:  &http.Client{Timeout: 2 * time.Second},
+		timeout: 2 * time.Second,
+	}
+}
+
+// broadcast POSTs the JSON document to every live peer concurrently and
+// returns when all deliveries have been attempted.
+func (g *gossiper) broadcast(path string, doc any) {
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for id, base := range g.peers {
+		if id == g.self || base == "" {
+			continue
+		}
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			g.post(url, body)
+		}(base + path)
+	}
+	wg.Wait()
+}
+
+func (g *gossiper) post(url string, body []byte) {
+	ctx, cancel := context.WithTimeout(context.Background(), g.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	g.mu.Lock()
+	g.sent++
+	if err != nil || resp.StatusCode != http.StatusOK {
+		g.failures++
+	}
+	g.mu.Unlock()
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// stats reports how many control messages were sent and how many failed.
+func (g *gossiper) stats() (sent, failures uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sent, g.failures
+}
+
+// decodeJSON is a bounded JSON body decoder for the control handlers.
+func decodeJSON(r *http.Request, into any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, limit))
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("native: decoding control message: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,373 @@
+package native
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"repro/internal/trace"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testStore(files int) *MemStore {
+	m := make(map[string][]byte, files)
+	for i := 0; i < files; i++ {
+		m[fmt.Sprintf("/f/%d", i)] = []byte(fmt.Sprintf("content-of-%d", i))
+	}
+	return NewMemStore(m)
+}
+
+func startTestCluster(t *testing.T, nodes int, opts Options) *Cluster {
+	t.Helper()
+	c, err := StartCluster(ClusterConfig{
+		Nodes:      nodes,
+		Store:      testStore(64),
+		CacheBytes: 1 << 20,
+		Opts:       opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp, body
+}
+
+func TestServeFile(t *testing.T) {
+	c := startTestCluster(t, 3, DefaultOptions())
+	resp, body := get(t, c.URLs()[0]+"/files/f/7")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if string(body) != "content-of-7" {
+		t.Fatalf("body %q", body)
+	}
+	if resp.Header.Get("X-Served-By") == "" {
+		t.Fatal("missing X-Served-By")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	c := startTestCluster(t, 2, DefaultOptions())
+	resp, _ := get(t, c.URLs()[0]+"/files/no/such/file")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = get(t, c.URLs()[0]+"/files/")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for empty path", resp.StatusCode)
+	}
+}
+
+func TestLocalityStickiness(t *testing.T) {
+	c := startTestCluster(t, 4, DefaultOptions())
+	// Ask different nodes for the same file: all replies must come from
+	// the same service node (the file's server set has one member under
+	// light load).
+	var servedBy string
+	for i := 0; i < 8; i++ {
+		entry := c.URLs()[i%4]
+		resp, _ := get(t, entry+"/files/f/3")
+		by := resp.Header.Get("X-Served-By")
+		if servedBy == "" {
+			servedBy = by
+		} else if by != servedBy {
+			t.Fatalf("request %d served by %s, want sticky %s", i, by, servedBy)
+		}
+	}
+}
+
+func TestHandoffHappens(t *testing.T) {
+	c := startTestCluster(t, 4, DefaultOptions())
+	// Prime the file at its first server via node 0.
+	resp, _ := get(t, c.URLs()[0]+"/files/f/5")
+	owner := resp.Header.Get("X-Served-By")
+	// A request entering at a different node must be forwarded (header
+	// X-Forwarded-By set) yet still served by the owner.
+	var forwarded bool
+	for i := 0; i < 4; i++ {
+		entry := c.URLs()[i]
+		resp, _ := get(t, entry+"/files/f/5")
+		if resp.Header.Get("X-Served-By") != owner {
+			t.Fatalf("served by %s, want %s", resp.Header.Get("X-Served-By"), owner)
+		}
+		if resp.Header.Get("X-Forwarded-By") != "" {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		t.Fatal("no hand-off observed from non-owner entry nodes")
+	}
+}
+
+func TestCacheHitsAccumulate(t *testing.T) {
+	c := startTestCluster(t, 2, DefaultOptions())
+	for i := 0; i < 10; i++ {
+		get(t, c.URLs()[0]+"/files/f/1")
+	}
+	totals := c.Totals()
+	if totals.Hits < 8 {
+		t.Fatalf("hits = %d, want most of 10 repeated requests", totals.Hits)
+	}
+	if totals.Misses < 1 {
+		t.Fatal("first access must miss")
+	}
+}
+
+func TestGossipUpdatesPeerViews(t *testing.T) {
+	c := startTestCluster(t, 3, Options{T: 20, LowT: 10, BroadcastDelta: 1, ShrinkAfter: time.Minute})
+	// Drive concurrent slow-ish requests through node 1 to move its load,
+	// with delta=1 every change broadcasts.
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(c.URLs()[1] + fmt.Sprintf("/files/f/%d", i%32))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Allow gossip to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		sent, _ := c.Node(1).gossip.stats()
+		if sent > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("node 1 never gossiped a load update")
+}
+
+func TestControlEndpointsValidate(t *testing.T) {
+	c := startTestCluster(t, 2, DefaultOptions())
+	resp, err := http.Post(c.URLs()[0]+loadPath, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty control body accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestAppliedSetUpdateRedirectsTraffic(t *testing.T) {
+	c := startTestCluster(t, 3, DefaultOptions())
+	// Tell node 0 that file /f/9 lives on node 2.
+	c.Node(0).state.applySet(SetUpdate{Path: "/f/9", Nodes: []int{2}})
+	resp, _ := get(t, c.URLs()[0]+"/files/f/9")
+	if by := resp.Header.Get("X-Served-By"); by != "2" {
+		t.Fatalf("served by %s, want node 2 per the installed set", by)
+	}
+}
+
+func TestFailoverFallsBackLocally(t *testing.T) {
+	c := startTestCluster(t, 3, DefaultOptions())
+	// Route /f/4 to node 2, then crash node 2.
+	c.Node(0).state.applySet(SetUpdate{Path: "/f/4", Nodes: []int{2}})
+	if err := c.Stop(2); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, c.URLs()[0]+"/files/f/4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after peer crash", resp.StatusCode)
+	}
+	if string(body) != "content-of-4" {
+		t.Fatalf("wrong content after failover: %q", body)
+	}
+	if c.Node(0).Snapshot().Fallbacks == 0 {
+		t.Fatal("fallback not recorded")
+	}
+	// Subsequent requests avoid the dead node entirely.
+	resp, _ = get(t, c.URLs()[0]+"/files/f/4")
+	if by := resp.Header.Get("X-Served-By"); by == "2" {
+		t.Fatal("dead node still selected")
+	}
+}
+
+func TestReplicationUnderHotspot(t *testing.T) {
+	// Low threshold + a miss penalty so open requests accumulate: a single
+	// hot file must gain a second server.
+	c, err := StartCluster(ClusterConfig{
+		Nodes:        3,
+		Store:        testStore(8),
+		CacheBytes:   1 << 20,
+		Opts:         Options{T: 2, LowT: 1, BroadcastDelta: 1, ShrinkAfter: time.Minute},
+		ServePenalty: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	// Pin the hot file to node 0, then hammer it through node 0 itself so
+	// its open-request count rises past T and the algorithm replicates.
+	for i := 0; i < 3; i++ {
+		c.Node(i).state.applySet(SetUpdate{Path: "/f/0", Nodes: []int{0}})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 120; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(c.URLs()[0] + "/files/f/0")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	grew := false
+	for i := 0; i < 3; i++ {
+		if len(c.Node(i).ServerSet("/f/0")) > 1 {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("hot file's server set never replicated under overload")
+	}
+}
+
+func TestStatszEndpoint(t *testing.T) {
+	c := startTestCluster(t, 2, DefaultOptions())
+	get(t, c.URLs()[0]+"/files/f/2")
+	resp, body := get(t, c.URLs()[0]+"/statsz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	if len(body) == 0 || body[0] != '{' {
+		t.Fatalf("statsz body %q", body)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := StartCluster(ClusterConfig{Nodes: 0, Store: testStore(1)}); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := StartCluster(ClusterConfig{Nodes: 1}); err == nil {
+		t.Fatal("nil store accepted")
+	}
+	if _, err := NewNode(Config{Store: testStore(1), Peers: nil}); err == nil {
+		t.Fatal("bad node id accepted")
+	}
+}
+
+func TestSyntheticStore(t *testing.T) {
+	s := SyntheticStore(50, 10, 1)
+	if len(s.Paths()) != 50 {
+		t.Fatalf("paths = %d", len(s.Paths()))
+	}
+	b, ok := s.Get("/f/0")
+	if !ok || len(b) < 64 {
+		t.Fatalf("file 0 missing or too small: %d", len(b))
+	}
+	s.Put("/extra", []byte("x"))
+	if _, ok := s.Get("/extra"); !ok {
+		t.Fatal("Put did not store")
+	}
+}
+
+func TestContentCacheEviction(t *testing.T) {
+	cc := newContentCache(100)
+	cc.put("/a", make([]byte, 60))
+	cc.put("/b", make([]byte, 60)) // evicts /a
+	if _, ok := cc.get("/a"); ok {
+		t.Fatal("/a should have been evicted")
+	}
+	if _, ok := cc.get("/b"); !ok {
+		t.Fatal("/b missing")
+	}
+	cc.put("/huge", make([]byte, 1000)) // larger than capacity: ignored
+	if _, ok := cc.get("/huge"); ok {
+		t.Fatal("oversize content cached")
+	}
+	if cc.used() != 60 {
+		t.Fatalf("used = %d, want 60", cc.used())
+	}
+}
+
+func TestRoundRobinURLs(t *testing.T) {
+	c := startTestCluster(t, 3, DefaultOptions())
+	a, b, d := c.NextURL(), c.NextURL(), c.NextURL()
+	if a == b || b == d || a == d {
+		t.Fatal("round robin did not rotate")
+	}
+	if c.NextURL() != a {
+		t.Fatal("rotation did not wrap")
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	tr := trace.MustGenerate(trace.GenSpec{
+		Name: "replay", Files: 100, AvgFileKB: 4, Requests: 1500,
+		AvgReqKB: 3, Alpha: 1, Seed: 9,
+	})
+	c, err := StartCluster(ClusterConfig{
+		Nodes:      3,
+		Store:      StoreFromTrace(tr),
+		CacheBytes: 4 << 20,
+		Opts:       DefaultOptions(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	res, err := Replay(c, tr, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != uint64(tr.NumRequests()) {
+		t.Fatalf("completed %d of %d (errors %d)", res.Completed, tr.NumRequests(), res.Errors)
+	}
+	if res.Rate <= 0 {
+		t.Fatal("no rate measured")
+	}
+	// Repeated Zipf requests must hit caches.
+	if c.Totals().HitRate < 0.5 {
+		t.Fatalf("hit rate %.2f too low for a Zipf replay", c.Totals().HitRate)
+	}
+}
+
+func TestStoreFromTraceSizes(t *testing.T) {
+	tr := trace.MustGenerate(trace.GenSpec{
+		Name: "s", Files: 10, AvgFileKB: 8, Requests: 10, AvgReqKB: 8, Alpha: 1, Seed: 1,
+	})
+	st := StoreFromTrace(tr)
+	for i, size := range tr.Sizes {
+		b, ok := st.Get(fmt.Sprintf("/f/%d", i))
+		if !ok || int64(len(b)) != size {
+			t.Fatalf("file %d: got %d bytes, want %d", i, len(b), size)
+		}
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	c := startTestCluster(t, 2, DefaultOptions())
+	tr := trace.MustGenerate(trace.GenSpec{
+		Name: "v", Files: 5, AvgFileKB: 4, Requests: 10, AvgReqKB: 4, Alpha: 1, Seed: 1,
+	})
+	if _, err := Replay(c, tr, 0); err == nil {
+		t.Fatal("zero concurrency accepted")
+	}
+}

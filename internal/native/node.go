@@ -1,0 +1,349 @@
+package native
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures one native node.
+type Config struct {
+	ID         int
+	Peers      []string // base URLs indexed by node id (self included)
+	Store      Store
+	CacheBytes int64
+	Opts       Options
+
+	// MissPenalty is an artificial delay applied on every cache miss,
+	// standing in for the disk of the paper's nodes. Zero disables it
+	// (an in-memory store has no real disk to wait for).
+	MissPenalty time.Duration
+
+	// ServePenalty is an artificial delay applied on every local serve,
+	// standing in for reply transmit processing; it gives demo clusters a
+	// realistic load profile. Zero disables it.
+	ServePenalty time.Duration
+}
+
+// Node is one cluster member: an HTTP server with its own cache, its own
+// replica of the distribution state, and a gossip client.
+type Node struct {
+	cfg    Config
+	state  *state
+	gossip *gossiper
+	cache  *contentCache
+	client *http.Client
+
+	open atomic.Int64 // requests being serviced here (the load metric)
+
+	served    atomic.Uint64 // requests served locally
+	proxied   atomic.Uint64 // requests handed off to another node
+	received  atomic.Uint64 // hand-offs served on behalf of others
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	fallbacks atomic.Uint64 // proxy failures served locally instead
+
+	deadMu sync.RWMutex
+	dead   map[int]bool
+
+	mux *http.ServeMux
+}
+
+// NewNode builds the node; Serve it with an http.Server (Cluster does this
+// for you).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("native: node needs a store")
+	}
+	if cfg.ID < 0 || cfg.ID >= len(cfg.Peers) {
+		return nil, fmt.Errorf("native: node id %d outside peer list of %d", cfg.ID, len(cfg.Peers))
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 32 << 20
+	}
+	if cfg.Opts.T == 0 {
+		cfg.Opts = DefaultOptions()
+	}
+	n := &Node{
+		cfg:    cfg,
+		state:  newState(cfg.ID, len(cfg.Peers), cfg.Opts),
+		gossip: newGossiper(cfg.ID, cfg.Peers),
+		cache:  newContentCache(cfg.CacheBytes),
+		client: &http.Client{Timeout: 10 * time.Second},
+		dead:   make(map[int]bool),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/files/", n.handleFiles)
+	mux.HandleFunc("/local/", n.handleLocal)
+	mux.HandleFunc(loadPath, n.handleLoadUpdate)
+	mux.HandleFunc(setPath, n.handleSetUpdate)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/statsz", n.handleStats)
+	n.mux = mux
+	return n, nil
+}
+
+// Handler returns the node's HTTP handler.
+func (n *Node) Handler() http.Handler { return n.mux }
+
+// ID returns the node's cluster id.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Load returns the node's current open-request count.
+func (n *Node) Load() int { return int(n.open.Load()) }
+
+// ServerSet exposes the node's replica of a file's server set (tests).
+func (n *Node) ServerSet(path string) []int { return n.state.serverSet(path) }
+
+// alive reports whether this node believes peer i is up.
+func (n *Node) alive(i int) bool {
+	if i == n.cfg.ID {
+		return true
+	}
+	n.deadMu.RLock()
+	defer n.deadMu.RUnlock()
+	return !n.dead[i]
+}
+
+// MarkDead records that a peer is down (also set automatically when a
+// hand-off to it fails).
+func (n *Node) MarkDead(i int) {
+	n.deadMu.Lock()
+	n.dead[i] = true
+	n.deadMu.Unlock()
+}
+
+// handleFiles is the public entry point: run the distribution algorithm,
+// then serve locally or hand off.
+func (n *Node) handleFiles(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/files")
+	if path == "" || path == "/" {
+		http.Error(w, "missing file path", http.StatusBadRequest)
+		return
+	}
+	dec := n.state.decide(path, n.alive)
+	if dec.SetChanged != nil {
+		go n.gossip.broadcast(setPath, dec.SetChanged)
+	}
+	if dec.Service == n.cfg.ID {
+		n.served.Add(1)
+		n.serveLocal(w, path)
+		return
+	}
+	n.proxied.Add(1)
+	if err := n.proxyTo(dec.Service, path, w); err != nil {
+		// The chosen node is unreachable: remember that, serve the client
+		// ourselves, and let the next decision rebuild the server set.
+		n.MarkDead(dec.Service)
+		n.fallbacks.Add(1)
+		n.served.Add(1)
+		n.serveLocal(w, path)
+	}
+}
+
+// handleLocal serves a hand-off on behalf of another node, without
+// re-running distribution.
+func (n *Node) handleLocal(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/local")
+	n.received.Add(1)
+	n.serveLocal(w, path)
+}
+
+// serveLocal is the data path: cache, store on a miss, respond.
+func (n *Node) serveLocal(w http.ResponseWriter, path string) {
+	n.trackLoad(1)
+	defer n.trackLoad(-1)
+
+	content, ok := n.cache.get(path)
+	if ok {
+		n.hits.Add(1)
+	} else {
+		n.misses.Add(1)
+		var found bool
+		content, found = n.cfg.Store.Get(path)
+		if !found {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		if n.cfg.MissPenalty > 0 {
+			time.Sleep(n.cfg.MissPenalty)
+		}
+		n.cache.put(path, content)
+	}
+	if n.cfg.ServePenalty > 0 {
+		time.Sleep(n.cfg.ServePenalty)
+	}
+	w.Header().Set("X-Served-By", fmt.Sprintf("%d", n.cfg.ID))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(content)
+}
+
+// trackLoad adjusts the open-request count and gossips it when it has
+// drifted far enough.
+func (n *Node) trackLoad(delta int64) {
+	v := int(n.open.Add(delta))
+	if n.state.setLocalLoad(v) {
+		go n.gossip.broadcast(loadPath, &LoadUpdate{Node: n.cfg.ID, Load: v})
+	}
+}
+
+// proxyTo relays the request to the service node's internal endpoint and
+// streams the response back — the user-level equivalent of connection
+// hand-off.
+func (n *Node) proxyTo(svc int, path string, w http.ResponseWriter) error {
+	base := n.cfg.Peers[svc]
+	if base == "" {
+		return fmt.Errorf("native: no address for node %d", svc)
+	}
+	resp, err := n.client.Get(base + "/local" + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("X-Forwarded-By", fmt.Sprintf("%d", n.cfg.ID))
+	w.WriteHeader(resp.StatusCode)
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func (n *Node) handleLoadUpdate(w http.ResponseWriter, r *http.Request) {
+	var u LoadUpdate
+	if err := decodeJSON(r, &u, 1<<10); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.state.applyLoad(u.Node, u.Load)
+	w.WriteHeader(http.StatusOK)
+}
+
+func (n *Node) handleSetUpdate(w http.ResponseWriter, r *http.Request) {
+	var u SetUpdate
+	if err := decodeJSON(r, &u, 1<<16); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.state.applySet(u)
+	w.WriteHeader(http.StatusOK)
+}
+
+// Stats is the node's observable state, served at /statsz.
+type Stats struct {
+	ID        int     `json:"id"`
+	Load      int     `json:"load"`
+	Served    uint64  `json:"served"`
+	Proxied   uint64  `json:"proxied"`
+	Received  uint64  `json:"received"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Fallbacks uint64  `json:"fallbacks"`
+	HitRate   float64 `json:"hit_rate"`
+	CacheUsed int64   `json:"cache_used"`
+	GossipOut uint64  `json:"gossip_out"`
+}
+
+// Snapshot returns current statistics.
+func (n *Node) Snapshot() Stats {
+	hits, misses := n.hits.Load(), n.misses.Load()
+	var rate float64
+	if hits+misses > 0 {
+		rate = float64(hits) / float64(hits+misses)
+	}
+	sent, _ := n.gossip.stats()
+	return Stats{
+		ID:        n.cfg.ID,
+		Load:      n.Load(),
+		Served:    n.served.Load(),
+		Proxied:   n.proxied.Load(),
+		Received:  n.received.Load(),
+		Hits:      hits,
+		Misses:    misses,
+		Fallbacks: n.fallbacks.Load(),
+		HitRate:   rate,
+		CacheUsed: n.cache.used(),
+		GossipOut: sent,
+	}
+}
+
+func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(n.Snapshot())
+}
+
+// contentCache is a thread-safe byte-capacity LRU holding file contents.
+type contentCache struct {
+	mu       sync.Mutex
+	capacity int64
+	size     int64
+	order    *list.List
+	items    map[string]*list.Element
+}
+
+type contentEntry struct {
+	path string
+	body []byte
+}
+
+func newContentCache(capacity int64) *contentCache {
+	return &contentCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+func (c *contentCache) get(path string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[path]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(contentEntry).body, true
+}
+
+func (c *contentCache) put(path string, body []byte) {
+	size := int64(len(body))
+	if size > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[path]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.size+size > c.capacity {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(contentEntry)
+		c.order.Remove(back)
+		delete(c.items, e.path)
+		c.size -= int64(len(e.body))
+	}
+	c.items[path] = c.order.PushFront(contentEntry{path: path, body: body})
+	c.size += size
+}
+
+func (c *contentCache) used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

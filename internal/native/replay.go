@@ -1,0 +1,88 @@
+package native
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ReplayResult summarizes a trace replay against a live cluster.
+type ReplayResult struct {
+	Completed uint64
+	Errors    uint64
+	Wall      time.Duration
+	Rate      float64 // completed requests per wall-clock second
+}
+
+// StoreFromTrace builds a MemStore whose files mirror a simulator trace's
+// catalog: file id i becomes /f/<i> with the trace's size. Contents are
+// synthetic bytes.
+func StoreFromTrace(tr *trace.Trace) *MemStore {
+	files := make(map[string][]byte, tr.NumFiles())
+	for i, size := range tr.Sizes {
+		body := make([]byte, size)
+		for j := range body {
+			body[j] = byte('a' + (i+j)%26)
+		}
+		files[fmt.Sprintf("/f/%d", i)] = body
+	}
+	return NewMemStore(files)
+}
+
+// Replay drives a trace's request stream through the live cluster with the
+// given concurrency, entering round robin — the native-server analogue of
+// the simulator's saturation methodology. Requests preserve the trace's
+// order per worker (workers interleave).
+func Replay(cluster *Cluster, tr *trace.Trace, concurrency int) (ReplayResult, error) {
+	if concurrency < 1 {
+		return ReplayResult{}, fmt.Errorf("native: replay needs concurrency >= 1")
+	}
+	if err := tr.Validate(); err != nil {
+		return ReplayResult{}, err
+	}
+	start := time.Now()
+	var idx, completed, errs atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				i := idx.Add(1) - 1
+				if i >= uint64(tr.NumRequests()) {
+					return
+				}
+				url := fmt.Sprintf("%s/files/f/%d", cluster.NextURL(), tr.Requests[i])
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					completed.Add(1)
+				} else {
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	res := ReplayResult{
+		Completed: completed.Load(),
+		Errors:    errs.Load(),
+		Wall:      wall,
+	}
+	if wall > 0 {
+		res.Rate = float64(res.Completed) / wall.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,236 @@
+package native
+
+import (
+	"sync"
+	"time"
+)
+
+// Options are the L2S parameters of the native server, mirroring
+// core.Options with wall-clock durations.
+type Options struct {
+	T              int           // overload threshold (open requests)
+	LowT           int           // underload threshold for set shrinking
+	BroadcastDelta int           // load drift triggering a gossip broadcast
+	ShrinkAfter    time.Duration // server-set stability window
+}
+
+// DefaultOptions returns the paper's parameters (T=20, t=10, delta=4) with
+// a shrink window suited to live traffic.
+func DefaultOptions() Options {
+	return Options{T: 20, LowT: 10, BroadcastDelta: 4, ShrinkAfter: 20 * time.Second}
+}
+
+// state is one node's replica of the cluster's distribution state: its
+// view of every node's load (its own is authoritative, the others are the
+// last gossiped values) and its replica of the per-file server sets.
+// It implements the L2S decision rules of Section 4.
+type state struct {
+	mu   sync.Mutex
+	self int
+	n    int
+	opts Options
+
+	loads    []int // loads[self] authoritative, others gossiped
+	lastSent int   // own load at the last broadcast
+
+	sets map[string]*fileSet
+
+	now func() time.Time // injectable clock for tests
+}
+
+type fileSet struct {
+	nodes    []int
+	modified time.Time
+}
+
+func newState(self, n int, opts Options) *state {
+	return &state{
+		self:  self,
+		n:     n,
+		opts:  opts,
+		loads: make([]int, n),
+		sets:  make(map[string]*fileSet),
+		now:   time.Now,
+	}
+}
+
+// decision is the outcome of running the distribution algorithm for one
+// request at this node.
+type decision struct {
+	Service int // node that must serve the request
+
+	// Set changes to gossip (nil when the set was untouched).
+	SetChanged *SetUpdate
+}
+
+// decide runs the L2S algorithm for a request for path, given the set of
+// currently live nodes. It mutates the local server-set replica and
+// reports any change that must be gossiped.
+func (s *state) decide(path string, alive func(int) bool) decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	load := func(n int) int { return s.loads[n] }
+	overloaded := func(n int) bool { return load(n) > s.opts.T }
+
+	set := s.sets[path]
+	if set == nil || len(set.nodes) == 0 || allDead(set.nodes, alive) {
+		svc := s.self
+		if overloaded(s.self) || !alive(s.self) {
+			if m := argminAlive(s.n, load, alive); m >= 0 {
+				svc = m
+			}
+		}
+		s.sets[path] = &fileSet{nodes: []int{svc}, modified: s.now()}
+		return decision{Service: svc, SetChanged: &SetUpdate{Path: path, Nodes: []int{svc}}}
+	}
+
+	var svc int
+	var changed *SetUpdate
+	switch {
+	case contains(set.nodes, s.self) && !overloaded(s.self) && alive(s.self):
+		svc = s.self
+	default:
+		n := argminMember(set.nodes, load, alive)
+		if overloaded(s.self) && overloaded(n) {
+			if m := argminAlive(s.n, load, alive); m >= 0 && !contains(set.nodes, m) {
+				set.nodes = append(set.nodes, m)
+				set.modified = s.now()
+				changed = &SetUpdate{Path: path, Nodes: append([]int(nil), set.nodes...)}
+				n = m
+			}
+		}
+		svc = n
+	}
+
+	if len(set.nodes) > 1 && load(svc) < s.opts.LowT &&
+		s.now().Sub(set.modified) > s.opts.ShrinkAfter {
+		removeMostLoaded(set, svc, load)
+		set.modified = s.now()
+		changed = &SetUpdate{Path: path, Nodes: append([]int(nil), set.nodes...)}
+	}
+	return decision{Service: svc, SetChanged: changed}
+}
+
+// setLocalLoad records this node's own load and reports whether the drift
+// since the last broadcast reached the gossip threshold (in which case the
+// caller must broadcast and the baseline resets).
+func (s *state) setLocalLoad(v int) (broadcast bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loads[s.self] = v
+	drift := v - s.lastSent
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift >= s.opts.BroadcastDelta {
+		s.lastSent = v
+		return true
+	}
+	return false
+}
+
+// applyLoad installs a gossiped load value for a peer.
+func (s *state) applyLoad(node, load int) {
+	if node < 0 || node >= s.n || node == s.self {
+		return
+	}
+	s.mu.Lock()
+	s.loads[node] = load
+	s.mu.Unlock()
+}
+
+// applySet installs a gossiped server-set replica.
+func (s *state) applySet(u SetUpdate) {
+	if u.Path == "" || len(u.Nodes) == 0 {
+		return
+	}
+	for _, n := range u.Nodes {
+		if n < 0 || n >= s.n {
+			return
+		}
+	}
+	s.mu.Lock()
+	s.sets[u.Path] = &fileSet{nodes: append([]int(nil), u.Nodes...), modified: s.now()}
+	s.mu.Unlock()
+}
+
+// serverSet returns a copy of the replica's set for a path.
+func (s *state) serverSet(path string) []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := s.sets[path]
+	if set == nil {
+		return nil
+	}
+	return append([]int(nil), set.nodes...)
+}
+
+// viewLoad returns this replica's view of a node's load.
+func (s *state) viewLoad(n int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loads[n]
+}
+
+func allDead(nodes []int, alive func(int) bool) bool {
+	for _, n := range nodes {
+		if alive(n) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(nodes []int, n int) bool {
+	for _, v := range nodes {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+func argminAlive(n int, load func(int) int, alive func(int) bool) int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for i := 0; i < n; i++ {
+		if !alive(i) {
+			continue
+		}
+		if l := load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+func argminMember(nodes []int, load func(int) int, alive func(int) bool) int {
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for _, n := range nodes {
+		if !alive(n) {
+			continue
+		}
+		if l := load(n); l < bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	if best < 0 {
+		return nodes[0]
+	}
+	return best
+}
+
+func removeMostLoaded(set *fileSet, keep int, load func(int) int) {
+	worst, worstLoad, at := -1, -1, -1
+	for i, n := range set.nodes {
+		if n == keep {
+			continue
+		}
+		if l := load(n); l > worstLoad {
+			worst, worstLoad, at = n, l, i
+		}
+	}
+	if worst >= 0 {
+		set.nodes = append(set.nodes[:at], set.nodes[at+1:]...)
+	}
+}

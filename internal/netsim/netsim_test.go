@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+func makeCluster(eng *sim.Engine, n int) []*cluster.Node {
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, i, 1<<20)
+	}
+	return nodes
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	// One-way latency of a 4-byte message: 2*3us CPU + 2*6us NI + 1us
+	// switch (+ negligible serialization) = 19us, the M-VIA figure the
+	// paper quotes.
+	total := 2*c.MsgCPU + 2*c.MsgNI + c.SwitchLatency
+	if math.Abs(total-19e-6) > 1e-9 {
+		t.Fatalf("one-way message latency = %v, want 19us", total)
+	}
+	if c.RouterKBps != 500000 || c.LinkKBps != 128000 {
+		t.Fatalf("bandwidths wrong: %+v", c)
+	}
+}
+
+func TestSendDeliversAfterFullPath(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 2)
+	var deliveredAt float64
+	nw.Send(nodes[0], nodes[1], 0.004, func() { deliveredAt = eng.Now() })
+	eng.Run()
+	want := 19e-6 + 0.004/128000
+	if math.Abs(deliveredAt-want) > 1e-9 {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if nw.Messages() != 1 {
+		t.Fatalf("Messages = %d, want 1", nw.Messages())
+	}
+}
+
+func TestSendChargesBothSides(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 2)
+	nw.Send(nodes[0], nodes[1], 0.004, nil)
+	eng.Run()
+	if got := nodes[0].CPU.BusyTime(); math.Abs(got-3e-6) > 1e-12 {
+		t.Fatalf("sender CPU busy = %v, want 3us", got)
+	}
+	if got := nodes[0].NIOut.BusyTime(); math.Abs(got-6e-6) > 1e-12 {
+		t.Fatalf("sender NI-out busy = %v, want 6us", got)
+	}
+	if got := nodes[1].NIIn.BusyTime(); math.Abs(got-6e-6) > 1e-12 {
+		t.Fatalf("receiver NI-in busy = %v, want 6us", got)
+	}
+	if got := nodes[1].CPU.BusyTime(); math.Abs(got-3e-6) > 1e-12 {
+		t.Fatalf("receiver CPU busy = %v, want 3us", got)
+	}
+}
+
+func TestSendToSelfPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	nw.Send(nodes[0], nodes[0], 0.004, nil)
+}
+
+func TestBroadcastReachesAllOthers(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 5)
+	done := false
+	nw.Broadcast(nodes[2], nodes, 0.004, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("broadcast completion callback did not fire")
+	}
+	if nw.Messages() != 4 {
+		t.Fatalf("Messages = %d, want 4 point-to-point messages", nw.Messages())
+	}
+	for i, n := range nodes {
+		if i == 2 {
+			continue
+		}
+		if n.CPU.BusyTime() == 0 {
+			t.Errorf("node %d received no message cost", i)
+		}
+	}
+}
+
+func TestBroadcastSkipsFailedNodes(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 4)
+	nodes[1].Fail()
+	done := false
+	nw.Broadcast(nodes[0], nodes, 0.004, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("broadcast did not complete")
+	}
+	if nw.Messages() != 2 {
+		t.Fatalf("Messages = %d, want 2 (failed node skipped)", nw.Messages())
+	}
+}
+
+func TestBroadcastAloneStillCompletes(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 1)
+	done := false
+	nw.Broadcast(nodes[0], nodes, 0.004, func() { done = true })
+	eng.Run()
+	if !done {
+		t.Fatal("single-node broadcast must still invoke the callback")
+	}
+	if nw.Messages() != 0 {
+		t.Fatalf("Messages = %d, want 0", nw.Messages())
+	}
+}
+
+func TestRouterCharges(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	var doneAt float64
+	nw.RouterIn(50, func() { doneAt = eng.Now() })
+	eng.Run()
+	if want := 50.0 / 500000; math.Abs(doneAt-want) > 1e-12 {
+		t.Fatalf("router transfer took %v, want %v", doneAt, want)
+	}
+}
+
+func TestRouterSerializesTransfers(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	var last float64
+	for i := 0; i < 10; i++ {
+		nw.RouterOut(500, func() { last = eng.Now() })
+	}
+	eng.Run()
+	if want := 10 * 500.0 / 500000; math.Abs(last-want) > 1e-12 {
+		t.Fatalf("10 transfers took %v, want %v (FCFS)", last, want)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 2)
+	nw.Send(nodes[0], nodes[1], 0.004, nil)
+	eng.Run()
+	nw.ResetStats()
+	if nw.Messages() != 0 {
+		t.Fatal("ResetStats must zero the message counter")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-rate config did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{})
+}

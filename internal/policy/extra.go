@@ -1,0 +1,164 @@
+package policy
+
+import (
+	"math/rand"
+)
+
+// Hashing is the strict locality-conscious server sketched in the paper's
+// introduction: every file is pinned to exactly one node by a hash of its
+// identity, with no replication and no attention to load. It maximizes the
+// effective cache (each file cached once) but, as the paper observes, "can
+// produce severe load imbalance" — the strawman that motivates combining
+// locality with load balancing.
+type Hashing struct {
+	env Env
+	rr  *RoundRobin
+}
+
+// NewHashing builds the strict-locality policy. Connections arrive round
+// robin (as with L2S) and are always forwarded to the file's home node.
+func NewHashing(env Env) *Hashing {
+	return &Hashing{env: env, rr: NewRoundRobin(env)}
+}
+
+// Name implements Distributor.
+func (p *Hashing) Name() string { return "hashing" }
+
+// FrontEnd implements Distributor.
+func (p *Hashing) FrontEnd() int { return -1 }
+
+// Initial implements Distributor.
+func (p *Hashing) Initial(f FileID) int { return p.rr.Next() }
+
+// Service implements Distributor: the file's home node, dead nodes
+// rehashed by linear probing.
+func (p *Hashing) Service(initial int, f FileID) int {
+	n := p.env.N()
+	home := int(mix(uint64(f))) % n
+	if home < 0 {
+		home += n
+	}
+	for i := 0; i < n; i++ {
+		cand := (home + i) % n
+		if p.env.Alive(cand) {
+			return cand
+		}
+	}
+	return initial
+}
+
+// OnAssign implements Distributor.
+func (p *Hashing) OnAssign(n int) {}
+
+// OnComplete implements Distributor.
+func (p *Hashing) OnComplete(n int, f FileID) {}
+
+// mix is a 64-bit finalizer (splitmix64) giving a well-spread hash of the
+// file id.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Random assigns each connection to a uniformly random node that services
+// it locally — the weakest load-balancing baseline, equivalent to DNS
+// round robin as seen by the server when client-side caching randomizes
+// arrival order.
+type Random struct {
+	env Env
+	rng *rand.Rand
+}
+
+// NewRandom builds the random policy with a deterministic seed.
+func NewRandom(env Env, seed int64) *Random {
+	return &Random{env: env, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Distributor.
+func (p *Random) Name() string { return "random" }
+
+// FrontEnd implements Distributor.
+func (p *Random) FrontEnd() int { return -1 }
+
+// Initial implements Distributor.
+func (p *Random) Initial(f FileID) int {
+	n := p.env.N()
+	for i := 0; i < 4*n; i++ {
+		cand := p.rng.Intn(n)
+		if p.env.Alive(cand) {
+			return cand
+		}
+	}
+	return 0
+}
+
+// Service implements Distributor.
+func (p *Random) Service(initial int, f FileID) int { return initial }
+
+// OnAssign implements Distributor.
+func (p *Random) OnAssign(n int) {}
+
+// OnComplete implements Distributor.
+func (p *Random) OnComplete(n int, f FileID) {}
+
+// CachedDNS models round-robin DNS with translation caching, the scheme
+// the paper's Section 2 criticizes: intermediate name servers and clients
+// cache the translated address, so a client keeps hitting the same node
+// for the lifetime of its cache entry, and popular resolvers cause
+// significant load imbalance. Each client is pinned to the node the DNS
+// rotation handed it for TTLRequests consecutive requests.
+type CachedDNS struct {
+	env         Env
+	rr          *RoundRobin
+	TTLRequests int
+
+	pinned    map[int32]int // client -> node
+	remaining map[int32]int // client -> requests left on the cached entry
+
+	// NextClient must be set by the driver before each Initial call when
+	// client identities are available; otherwise a single shared cache
+	// entry is used (the worst case).
+	NextClient int32
+}
+
+// NewCachedDNS builds the cached-DNS arrival model.
+func NewCachedDNS(env Env, ttlRequests int) *CachedDNS {
+	return &CachedDNS{
+		env:         env,
+		rr:          NewRoundRobin(env),
+		TTLRequests: ttlRequests,
+		pinned:      make(map[int32]int),
+		remaining:   make(map[int32]int),
+	}
+}
+
+// Name implements Distributor.
+func (p *CachedDNS) Name() string { return "cached-dns" }
+
+// FrontEnd implements Distributor.
+func (p *CachedDNS) FrontEnd() int { return -1 }
+
+// Initial implements Distributor: the client's cached translation, renewed
+// from the round-robin rotation when it expires.
+func (p *CachedDNS) Initial(f FileID) int {
+	c := p.NextClient
+	if left, ok := p.remaining[c]; ok && left > 0 && p.env.Alive(p.pinned[c]) {
+		p.remaining[c] = left - 1
+		return p.pinned[c]
+	}
+	n := p.rr.Next()
+	p.pinned[c] = n
+	p.remaining[c] = p.TTLRequests - 1
+	return n
+}
+
+// Service implements Distributor: each node serves what lands on it.
+func (p *CachedDNS) Service(initial int, f FileID) int { return initial }
+
+// OnAssign implements Distributor.
+func (p *CachedDNS) OnAssign(n int) {}
+
+// OnComplete implements Distributor.
+func (p *CachedDNS) OnComplete(n int, f FileID) {}

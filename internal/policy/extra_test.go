@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestHashingIsDeterministicAndSpread(t *testing.T) {
+	env := newFakeEnv(8)
+	p := NewHashing(env)
+	seen := make(map[int]int)
+	for f := FileID(0); f < 800; f++ {
+		a := p.Service(0, f)
+		b := p.Service(3, f)
+		if a != b {
+			t.Fatalf("file %d hashed to %d and %d", f, a, b)
+		}
+		if a < 0 || a >= 8 {
+			t.Fatalf("node %d out of range", a)
+		}
+		seen[a]++
+	}
+	// splitmix64 should spread 800 files roughly evenly over 8 nodes.
+	for n, c := range seen {
+		if c < 50 || c > 150 {
+			t.Errorf("node %d got %d files, expected near 100", n, c)
+		}
+	}
+}
+
+func TestHashingRehashesDeadNodes(t *testing.T) {
+	env := newFakeEnv(4)
+	p := NewHashing(env)
+	home := p.Service(0, 7)
+	env.dead[home] = true
+	alt := p.Service(0, 7)
+	if alt == home {
+		t.Fatal("dead home node still selected")
+	}
+	if !env.Alive(alt) {
+		t.Fatal("rehash chose a dead node")
+	}
+}
+
+func TestHashingInitialRoundRobins(t *testing.T) {
+	env := newFakeEnv(3)
+	p := NewHashing(env)
+	if p.Initial(0) != 0 || p.Initial(0) != 1 || p.Initial(0) != 2 {
+		t.Fatal("initial nodes must rotate")
+	}
+	if p.FrontEnd() != -1 || p.Name() != "hashing" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestRandomStaysLocalAndInRange(t *testing.T) {
+	env := newFakeEnv(5)
+	p := NewRandom(env, 1)
+	counts := make([]int, 5)
+	for i := 0; i < 1000; i++ {
+		n := p.Initial(0)
+		if n < 0 || n >= 5 {
+			t.Fatalf("node %d out of range", n)
+		}
+		if p.Service(n, 0) != n {
+			t.Fatal("random policy must serve locally")
+		}
+		counts[n]++
+	}
+	for n, c := range counts {
+		if c < 100 || c > 320 {
+			t.Errorf("node %d got %d arrivals, expected near 200", n, c)
+		}
+	}
+}
+
+func TestRandomSkipsDead(t *testing.T) {
+	env := newFakeEnv(3)
+	env.dead[1] = true
+	p := NewRandom(env, 2)
+	for i := 0; i < 100; i++ {
+		if p.Initial(0) == 1 {
+			t.Fatal("random policy selected a dead node")
+		}
+	}
+}
+
+func TestCachedDNSPinsClients(t *testing.T) {
+	env := newFakeEnv(4)
+	p := NewCachedDNS(env, 10)
+	p.SetNextClient(7)
+	first := p.Initial(0)
+	for i := 0; i < 9; i++ {
+		p.SetNextClient(7)
+		if got := p.Initial(0); got != first {
+			t.Fatalf("request %d moved to %d before TTL expiry, want %d", i, got, first)
+		}
+	}
+	// 11th request: the cached translation expired; the rotation moved on.
+	p.SetNextClient(7)
+	if got := p.Initial(0); got == first {
+		t.Fatal("translation did not refresh after TTL")
+	}
+}
+
+func TestCachedDNSDistinctClientsRotate(t *testing.T) {
+	env := newFakeEnv(4)
+	p := NewCachedDNS(env, 100)
+	var got []int
+	for c := int32(0); c < 4; c++ {
+		p.SetNextClient(c)
+		got = append(got, p.Initial(0))
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("clients pinned to %v, want rotation %v", got, want)
+		}
+	}
+}
+
+func TestCachedDNSAbandonsDeadPins(t *testing.T) {
+	env := newFakeEnv(3)
+	p := NewCachedDNS(env, 1000)
+	p.SetNextClient(1)
+	pin := p.Initial(0)
+	env.dead[pin] = true
+	p.SetNextClient(1)
+	if got := p.Initial(0); got == pin {
+		t.Fatal("client still pinned to a dead node")
+	}
+}

@@ -1,0 +1,206 @@
+package policy
+
+import "fmt"
+
+// LARDOptions are the execution parameters of the LARD server. The defaults
+// are the values determined by Pai et al. and reused by the paper ("we use
+// the same execution parameters as determined by the designers of LARD").
+type LARDOptions struct {
+	TLow  int // a node below this load is considered lightly loaded (25)
+	THigh int // a node above this load is considered overloaded (65)
+	// ShrinkAfter is how long a replicated server set must stay unmodified
+	// before it is shrunk (LARD/R's K, 20 s).
+	ShrinkAfter float64
+	// UpdateBatch is how many locally terminated connections a back-end
+	// accumulates before refreshing its load at the front-end (Section 5.1
+	// of the paper: 4).
+	UpdateBatch int
+	// Replication enables LARD/R's server sets; plain LARD keeps a single
+	// server per target.
+	Replication bool
+}
+
+// DefaultLARDOptions returns the published parameters with replication on.
+func DefaultLARDOptions() LARDOptions {
+	return LARDOptions{TLow: 25, THigh: 65, ShrinkAfter: 20, UpdateBatch: 4, Replication: true}
+}
+
+// LARD implements the Locality-Aware Request Distribution server of Pai et
+// al. as simulated in the paper: node 0 is a dedicated front-end that
+// accepts, parses, and hands off every request to a back-end chosen by the
+// LARD (or LARD/R) algorithm. The front-end tracks back-end loads itself:
+// it increments its view on every assignment and learns about completions
+// through batched update messages from the back-ends.
+//
+// With a single node there is nothing to distribute: the node serves its
+// own requests and no front-end exists.
+type LARD struct {
+	env  Env
+	opts LARDOptions
+
+	backends []int // ids of nodes that service requests
+	feLoad   []int // front-end's view of each node's load
+	pending  []int // completions not yet reported to the front-end
+
+	sets     map[FileID]*lardSet
+	assigned uint64
+}
+
+type lardSet struct {
+	nodes    []int
+	modified float64
+}
+
+// NewLARD builds the LARD policy.
+func NewLARD(env Env, opts LARDOptions) *LARD {
+	if opts.TLow <= 0 || opts.THigh < opts.TLow {
+		panic(fmt.Sprintf("policy: bad LARD thresholds %+v", opts))
+	}
+	n := env.N()
+	var backends []int
+	for i := 1; i < n; i++ {
+		backends = append(backends, i)
+	}
+	if n == 1 {
+		backends = []int{0}
+	}
+	return &LARD{
+		env:      env,
+		opts:     opts,
+		backends: backends,
+		feLoad:   make([]int, n),
+		pending:  make([]int, n),
+		sets:     make(map[FileID]*lardSet),
+	}
+}
+
+// Name implements Distributor.
+func (l *LARD) Name() string {
+	if l.opts.Replication {
+		return "lard"
+	}
+	return "lard-basic"
+}
+
+// FrontEnd implements Distributor: node 0, unless the cluster has a single
+// node.
+func (l *LARD) FrontEnd() int {
+	if l.env.N() == 1 {
+		return -1
+	}
+	return 0
+}
+
+// Initial implements Distributor: every connection arrives at the
+// front-end.
+func (l *LARD) Initial(f FileID) int {
+	if l.env.N() == 1 {
+		return 0
+	}
+	return 0
+}
+
+// Service implements the LARD/R target-to-server-set mapping, executed at
+// the front-end with its (slightly stale) view of back-end loads.
+func (l *LARD) Service(initial int, f FileID) int {
+	if l.env.N() == 1 {
+		return 0
+	}
+	view := func(n int) int { return l.feLoad[n] }
+	set := l.sets[f]
+	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
+		n := argmin(l.env, l.backends, view)
+		if n < 0 {
+			return initial // cluster effectively down
+		}
+		l.sets[f] = &lardSet{nodes: []int{n}, modified: l.env.Now()}
+		return n
+	}
+	n := l.leastLoadedMember(set, view)
+	cheapest := argmin(l.env, l.backends, view)
+	overloaded := view(n) > l.opts.THigh && cheapest >= 0 && view(cheapest) < l.opts.TLow
+	if overloaded || view(n) >= 2*l.opts.THigh {
+		if cheapest >= 0 && cheapest != n {
+			if l.opts.Replication {
+				set.nodes = append(set.nodes, cheapest)
+			} else {
+				set.nodes = []int{cheapest}
+			}
+			set.modified = l.env.Now()
+			n = cheapest
+		}
+	}
+	if l.opts.Replication && len(set.nodes) > 1 &&
+		l.env.Now()-set.modified > l.opts.ShrinkAfter {
+		l.removeMostLoaded(set, n, view)
+		set.modified = l.env.Now()
+	}
+	return n
+}
+
+func (l *LARD) allDead(nodes []int) bool {
+	for _, n := range nodes {
+		if l.env.Alive(n) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *LARD) leastLoadedMember(set *lardSet, view func(int) int) int {
+	if n := argmin(l.env, set.nodes, view); n >= 0 {
+		return n
+	}
+	return set.nodes[0]
+}
+
+func (l *LARD) removeMostLoaded(set *lardSet, keep int, view func(int) int) {
+	worst, worstLoad, at := -1, -1, -1
+	for i, n := range set.nodes {
+		if n == keep {
+			continue
+		}
+		if load := view(n); load > worstLoad {
+			worst, worstLoad, at = n, load, i
+		}
+	}
+	if worst >= 0 {
+		set.nodes = append(set.nodes[:at], set.nodes[at+1:]...)
+	}
+}
+
+// OnAssign implements Distributor: the front-end made the assignment, so
+// its view updates immediately.
+func (l *LARD) OnAssign(n int) {
+	l.assigned++
+	l.feLoad[n]++
+}
+
+// OnComplete implements Distributor: the back-end batches UpdateBatch
+// completions, then reports them to the front-end in one control message.
+func (l *LARD) OnComplete(n int, f FileID) {
+	if l.env.N() == 1 {
+		return
+	}
+	l.pending[n]++
+	if l.pending[n] >= l.opts.UpdateBatch {
+		count := l.pending[n]
+		l.pending[n] = 0
+		l.env.SendControl(n, 0, func() {
+			l.feLoad[n] -= count
+			if l.feLoad[n] < 0 {
+				l.feLoad[n] = 0
+			}
+		})
+	}
+}
+
+// SetSizes returns the distribution of server-set sizes, for diagnostics
+// and tests.
+func (l *LARD) SetSizes() map[int]int {
+	out := make(map[int]int)
+	for _, s := range l.sets {
+		out[len(s.nodes)]++
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+// Package policytest provides a deterministic in-memory policy.Env for
+// unit-testing distribution policies without the full simulator.
+package policytest
+
+// Env is a fake policy.Env: loads are set directly, and control messages
+// deliver immediately unless Deferred is set, in which case they queue
+// until Flush.
+type Env struct {
+	NodeCount int
+	Clock     float64
+	Loads     []int
+	Dead      []bool
+
+	// Deferred queues deliveries until Flush, modeling in-flight messages.
+	Deferred bool
+
+	// Sent counts point-to-point control messages (a broadcast counts as
+	// N-1).
+	Sent int
+
+	queue []func()
+}
+
+// New builds an Env with n live, idle nodes.
+func New(n int) *Env {
+	return &Env{NodeCount: n, Loads: make([]int, n), Dead: make([]bool, n)}
+}
+
+// N implements policy.Env.
+func (e *Env) N() int { return e.NodeCount }
+
+// Now implements policy.Env.
+func (e *Env) Now() float64 { return e.Clock }
+
+// Load implements policy.Env.
+func (e *Env) Load(n int) int { return e.Loads[n] }
+
+// Alive implements policy.Env.
+func (e *Env) Alive(n int) bool { return !e.Dead[n] }
+
+// SendControl implements policy.Env.
+func (e *Env) SendControl(from, to int, onDeliver func()) {
+	e.Sent++
+	e.deliver(onDeliver)
+}
+
+// BroadcastControl implements policy.Env.
+func (e *Env) BroadcastControl(from int, onDeliver func()) {
+	e.Sent += e.NodeCount - 1
+	e.deliver(onDeliver)
+}
+
+func (e *Env) deliver(fn func()) {
+	if fn == nil {
+		return
+	}
+	if e.Deferred {
+		e.queue = append(e.queue, fn)
+		return
+	}
+	fn()
+}
+
+// Flush delivers all queued messages in order.
+func (e *Env) Flush() {
+	q := e.queue
+	e.queue = nil
+	for _, fn := range q {
+		fn()
+	}
+}
+
+// Pending reports how many deliveries are queued.
+func (e *Env) Pending() int { return len(e.queue) }

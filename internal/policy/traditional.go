@@ -1,0 +1,84 @@
+package policy
+
+// FewestConnections is the traditional, locality-oblivious server of the
+// paper's evaluation: an idealized layer-4 switch assigns every new
+// connection to the node with the fewest open connections, and each node
+// services its own requests from an independent cache. Nothing is ever
+// forwarded.
+type FewestConnections struct {
+	env  Env
+	next int // rotating tie-break so simultaneous arrivals spread out
+	all  []int
+}
+
+// NewFewestConnections builds the traditional policy.
+func NewFewestConnections(env Env) *FewestConnections {
+	all := make([]int, env.N())
+	for i := range all {
+		all[i] = i
+	}
+	return &FewestConnections{env: env, all: all}
+}
+
+// Name implements Distributor.
+func (p *FewestConnections) Name() string { return "traditional" }
+
+// FrontEnd implements Distributor: no dedicated front-end.
+func (p *FewestConnections) FrontEnd() int { return -1 }
+
+// Initial assigns the connection to the least-loaded live node, rotating
+// among ties.
+func (p *FewestConnections) Initial(f FileID) int {
+	n := p.env.N()
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for i := 0; i < n; i++ {
+		cand := (p.next + i) % n
+		if !p.env.Alive(cand) {
+			continue
+		}
+		if l := p.env.Load(cand); l < bestLoad {
+			best, bestLoad = cand, l
+		}
+	}
+	if best < 0 {
+		best = 0 // whole cluster down; the simulator aborts the request
+	}
+	p.next = (best + 1) % n
+	return best
+}
+
+// Service implements Distributor: the initial node services the request.
+func (p *FewestConnections) Service(initial int, f FileID) int { return initial }
+
+// OnAssign implements Distributor.
+func (p *FewestConnections) OnAssign(n int) {}
+
+// OnComplete implements Distributor.
+func (p *FewestConnections) OnComplete(n int, f FileID) {}
+
+// RoundRobin models request arrival via round-robin DNS, the standard
+// mechanism L2S assumes for spreading connections over the cluster. Dead
+// nodes are skipped (the paper's DNS would eventually stop handing out a
+// crashed node's address).
+type RoundRobin struct {
+	env  Env
+	next int
+}
+
+// NewRoundRobin builds a round-robin arrival policy over all nodes.
+func NewRoundRobin(env Env) *RoundRobin {
+	return &RoundRobin{env: env}
+}
+
+// Next returns the next node in rotation, skipping dead nodes.
+func (r *RoundRobin) Next() int {
+	n := r.env.N()
+	for i := 0; i < n; i++ {
+		cand := (r.next + i) % n
+		if r.env.Alive(cand) {
+			r.next = (cand + 1) % n
+			return cand
+		}
+	}
+	return 0
+}

@@ -1,0 +1,59 @@
+package qnet_test
+
+import (
+	"fmt"
+
+	"repro/internal/qnet"
+)
+
+// A CPU feeding a disk with 30% of its completions, 60 jobs/s offered.
+func ExampleNetwork_Solve() {
+	n := &qnet.Network{
+		Stations: []qnet.Station{
+			{Name: "cpu", Rate: 100},
+			{Name: "disk", Rate: 25},
+		},
+		Routing: [][]float64{
+			{0, 0.3}, // 30% of CPU completions need the disk
+			{0, 0},
+		},
+		Arrivals: []float64{60, 0},
+	}
+	a, err := n.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cpu utilization:  %.2f\n", a.Utilizations[0])
+	fmt.Printf("disk utilization: %.2f\n", a.Utilizations[1])
+	fmt.Printf("bottleneck: %s\n", n.Stations[a.Bottleneck].Name)
+	fmt.Printf("mean response time: %.1f ms\n", a.ResponseTime*1000)
+
+	cap, _ := n.Capacity()
+	fmt.Printf("saturation throughput: %.1f jobs/s\n", cap*60)
+	// Output:
+	// cpu utilization:  0.60
+	// disk utilization: 0.72
+	// bottleneck: disk
+	// mean response time: 67.9 ms
+	// saturation throughput: 83.3 jobs/s
+}
+
+// A closed system: 10 clients cycling through a CPU and a disk with 1 s of
+// think time — the window-based saturation methodology, solved exactly.
+func ExampleClosedNetwork_MVA() {
+	c := &qnet.ClosedNetwork{
+		Demands:   []float64{0.040, 0.030}, // CPU, disk seconds per request
+		ThinkTime: 1,
+	}
+	r, err := c.MVA(10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throughput: %.2f req/s\n", r.Throughput)
+	fmt.Printf("response time: %.0f ms\n", r.ResponseTime*1000)
+	fmt.Printf("cpu utilization: %.2f\n", r.Utilizations[0])
+	// Output:
+	// throughput: 9.11 req/s
+	// response time: 98 ms
+	// cpu utilization: 0.36
+}

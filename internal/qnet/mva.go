@@ -1,0 +1,131 @@
+package qnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClosedNetwork is a product-form closed queueing network analyzed by
+// exact Mean Value Analysis: a fixed population of customers cycles
+// through queueing stations (single-server FCFS) and an optional delay
+// (think-time) station. This is the analytic counterpart of the
+// simulator's saturation methodology, where a fixed window of outstanding
+// connections plays the customer population.
+type ClosedNetwork struct {
+	// Demands[i] is station i's total service demand per cycle (visit
+	// ratio times service time), in seconds.
+	Demands []float64
+	// Servers[i] is the number of identical servers at station i (0 or 1
+	// means one; values above 1 use the standard demand-scaling
+	// approximation D/m with an m-fold queue).
+	Servers []int
+	// ThinkTime is the delay-station demand per cycle (no queueing).
+	ThinkTime float64
+}
+
+// MVAResult is the steady state at one population size.
+type MVAResult struct {
+	Customers    int
+	Throughput   float64   // cycles (requests) per second
+	ResponseTime float64   // time per cycle excluding think time
+	QueueLengths []float64 // mean customers at each station
+	Utilizations []float64 // per-station utilization
+	Bottleneck   int
+}
+
+// MVA runs exact Mean Value Analysis for populations 1..n and returns the
+// result at population n.
+func (c *ClosedNetwork) MVA(n int) (MVAResult, error) {
+	results, err := c.MVASweep(n)
+	if err != nil {
+		return MVAResult{}, err
+	}
+	return results[len(results)-1], nil
+}
+
+// MVASweep runs exact MVA and returns results for every population
+// 1..n — the throughput-versus-window curve in one recursion.
+func (c *ClosedNetwork) MVASweep(n int) ([]MVAResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("qnet: MVA needs at least one customer, got %d", n)
+	}
+	if len(c.Demands) == 0 {
+		return nil, fmt.Errorf("qnet: MVA needs at least one station")
+	}
+	if c.ThinkTime < 0 {
+		return nil, fmt.Errorf("qnet: negative think time %v", c.ThinkTime)
+	}
+	k := len(c.Demands)
+	demands := make([]float64, k)
+	servers := make([]float64, k)
+	for i, d := range c.Demands {
+		if d < 0 {
+			return nil, fmt.Errorf("qnet: negative demand %v at station %d", d, i)
+		}
+		demands[i] = d
+		servers[i] = 1
+		if i < len(c.Servers) && c.Servers[i] > 1 {
+			servers[i] = float64(c.Servers[i])
+		}
+	}
+
+	queue := make([]float64, k) // Q_i(n-1), starts at population 0
+	out := make([]MVAResult, 0, n)
+	for pop := 1; pop <= n; pop++ {
+		r := MVAResult{
+			Customers:    pop,
+			QueueLengths: make([]float64, k),
+			Utilizations: make([]float64, k),
+		}
+		var total float64
+		resid := make([]float64, k)
+		for i := 0; i < k; i++ {
+			// Multi-server stations use the demand-scaling approximation:
+			// effective per-server demand with queueing among m servers.
+			d := demands[i] / servers[i]
+			resid[i] = d * (1 + queue[i])
+			total += resid[i]
+		}
+		r.ResponseTime = total
+		r.Throughput = float64(pop) / (c.ThinkTime + total)
+		best := -1.0
+		for i := 0; i < k; i++ {
+			queue[i] = r.Throughput * resid[i]
+			r.QueueLengths[i] = queue[i]
+			u := r.Throughput * demands[i] / servers[i]
+			r.Utilizations[i] = u
+			if u > best {
+				best = u
+				r.Bottleneck = i
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// AsymptoticBounds returns the classic balanced-job bounds on closed
+// throughput: X(n) <= min(n/(Z + sum D), 1/Dmax), useful as a sanity
+// envelope around the MVA recursion.
+func (c *ClosedNetwork) AsymptoticBounds(n int) (upper float64) {
+	var sum, dmax float64
+	for i, d := range c.Demands {
+		eff := d
+		if i < len(c.Servers) && c.Servers[i] > 1 {
+			eff = d / float64(c.Servers[i])
+		}
+		sum += d
+		if eff > dmax {
+			dmax = eff
+		}
+	}
+	if dmax == 0 {
+		return math.Inf(1)
+	}
+	light := float64(n) / (c.ThinkTime + sum)
+	heavy := 1 / dmax
+	if light < heavy {
+		return light
+	}
+	return heavy
+}

@@ -1,0 +1,152 @@
+package qnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMVASingleStationSingleCustomer(t *testing.T) {
+	c := &ClosedNetwork{Demands: []float64{0.1}}
+	r, err := c.MVA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One customer, one station: X = 1/D, R = D, Q = 1.
+	if math.Abs(r.Throughput-10) > 1e-12 {
+		t.Fatalf("X = %v, want 10", r.Throughput)
+	}
+	if math.Abs(r.ResponseTime-0.1) > 1e-12 {
+		t.Fatalf("R = %v, want 0.1", r.ResponseTime)
+	}
+	if math.Abs(r.QueueLengths[0]-1) > 1e-12 {
+		t.Fatalf("Q = %v, want 1", r.QueueLengths[0])
+	}
+}
+
+func TestMVASingleStationSaturates(t *testing.T) {
+	c := &ClosedNetwork{Demands: []float64{0.1}}
+	r, err := c.MVA(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heavy population: X -> 1/D = 10, utilization -> 1.
+	if math.Abs(r.Throughput-10) > 1e-9 {
+		t.Fatalf("X = %v, want 10", r.Throughput)
+	}
+	if math.Abs(r.Utilizations[0]-1) > 1e-9 {
+		t.Fatalf("rho = %v, want 1", r.Utilizations[0])
+	}
+}
+
+func TestMVAKnownTwoStation(t *testing.T) {
+	// Textbook: D1=0.2, D2=0.1, no think time.
+	// n=1: R=0.3, X=3.333, Q1=2/3, Q2=1/3.
+	// n=2: R1=0.2*(1+2/3)=1/3, R2=0.1*(4/3)=2/15, R=7/15, X=2/(7/15)=30/7.
+	c := &ClosedNetwork{Demands: []float64{0.2, 0.1}}
+	rs, err := c.MVASweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs[0].Throughput-10.0/3.0) > 1e-12 {
+		t.Fatalf("X(1) = %v, want 10/3", rs[0].Throughput)
+	}
+	if math.Abs(rs[1].Throughput-30.0/7.0) > 1e-12 {
+		t.Fatalf("X(2) = %v, want 30/7", rs[1].Throughput)
+	}
+	if rs[1].Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d, want the 0.2s station", rs[1].Bottleneck)
+	}
+}
+
+func TestMVAThinkTime(t *testing.T) {
+	// Interactive system: N=1, Z=1s, D=0.1 -> X = 1/1.1.
+	c := &ClosedNetwork{Demands: []float64{0.1}, ThinkTime: 1}
+	r, err := c.MVA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Throughput-1/1.1) > 1e-12 {
+		t.Fatalf("X = %v, want %v", r.Throughput, 1/1.1)
+	}
+}
+
+func TestMVAErrors(t *testing.T) {
+	if _, err := (&ClosedNetwork{Demands: []float64{0.1}}).MVA(0); err == nil {
+		t.Fatal("zero customers accepted")
+	}
+	if _, err := (&ClosedNetwork{}).MVA(1); err == nil {
+		t.Fatal("no stations accepted")
+	}
+	if _, err := (&ClosedNetwork{Demands: []float64{-1}}).MVA(1); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, err := (&ClosedNetwork{Demands: []float64{1}, ThinkTime: -1}).MVA(1); err == nil {
+		t.Fatal("negative think time accepted")
+	}
+}
+
+// Property: MVA throughput is increasing in population, never exceeds the
+// asymptotic bounds, and Little's law holds (sum of queue lengths plus
+// thinking customers equals the population).
+func TestPropertyMVAInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(5)
+		c := &ClosedNetwork{
+			Demands:   make([]float64, k),
+			ThinkTime: rng.Float64(),
+		}
+		for i := range c.Demands {
+			c.Demands[i] = 0.01 + rng.Float64()*0.5
+		}
+		n := 1 + rng.Intn(30)
+		rs, err := c.MVASweep(n)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for _, r := range rs {
+			if r.Throughput < prev-1e-12 {
+				return false
+			}
+			prev = r.Throughput
+			if r.Throughput > c.AsymptoticBounds(r.Customers)+1e-9 {
+				return false
+			}
+			var q float64
+			for _, v := range r.QueueLengths {
+				q += v
+			}
+			thinking := r.Throughput * c.ThinkTime
+			if math.Abs(q+thinking-float64(r.Customers)) > 1e-6 {
+				return false
+			}
+			for _, u := range r.Utilizations {
+				if u < 0 || u > 1+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MVA must converge, as population grows, to the open network's capacity
+// for the same demands — the saturation bound of the paper's model.
+func TestMVAConvergesToOpenCapacity(t *testing.T) {
+	demands := []float64{0.004, 0.002, 0.0005}
+	closed := &ClosedNetwork{Demands: demands}
+	r, err := closed.MVA(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / 0.004 // bottleneck capacity
+	if math.Abs(r.Throughput-want)/want > 0.01 {
+		t.Fatalf("X(200) = %v, want about %v", r.Throughput, want)
+	}
+}

@@ -1,0 +1,246 @@
+// Package qnet solves open Jackson networks of M/M/m queues: the general
+// form of the "system of equations" the paper's Section 3 model
+// instantiates for its cluster (Figure 2). It computes per-station flows
+// from the traffic equations, utilizations, mean queue lengths and
+// response times, the network's bottleneck, and its capacity (the largest
+// scaling of the external arrivals that keeps every station stable) — the
+// quantity the paper uses as its throughput bound.
+package qnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Station is one service center: an M/M/m queue.
+type Station struct {
+	Name    string
+	Rate    float64 // service rate mu per server, jobs/second
+	Servers int     // number of identical servers (0 means 1)
+}
+
+// Network is an open Jackson network.
+type Network struct {
+	Stations []Station
+
+	// Routing[i][j] is the probability that a job completing service at
+	// station i proceeds to station j; the remainder, 1 - sum_j, leaves
+	// the network.
+	Routing [][]float64
+
+	// Arrivals[i] is the external (Poisson) arrival rate into station i.
+	Arrivals []float64
+}
+
+// Validate checks the network's shape and stochastic constraints.
+func (n *Network) Validate() error {
+	k := len(n.Stations)
+	if k == 0 {
+		return fmt.Errorf("qnet: no stations")
+	}
+	if len(n.Routing) != k || len(n.Arrivals) != k {
+		return fmt.Errorf("qnet: routing (%d) and arrivals (%d) must match %d stations",
+			len(n.Routing), len(n.Arrivals), k)
+	}
+	for i, s := range n.Stations {
+		if s.Rate <= 0 {
+			return fmt.Errorf("qnet: station %d (%s) has non-positive rate", i, s.Name)
+		}
+		if s.Servers < 0 {
+			return fmt.Errorf("qnet: station %d (%s) has negative servers", i, s.Name)
+		}
+		if len(n.Routing[i]) != k {
+			return fmt.Errorf("qnet: routing row %d has %d entries, want %d", i, len(n.Routing[i]), k)
+		}
+		var rowSum float64
+		for j, p := range n.Routing[i] {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("qnet: routing[%d][%d] = %v outside [0,1]", i, j, p)
+			}
+			rowSum += p
+		}
+		if rowSum > 1+1e-9 {
+			return fmt.Errorf("qnet: routing row %d sums to %v > 1", i, rowSum)
+		}
+		if n.Arrivals[i] < 0 {
+			return fmt.Errorf("qnet: negative arrival rate at station %d", i)
+		}
+	}
+	return nil
+}
+
+func (n *Network) servers(i int) int {
+	if n.Stations[i].Servers <= 0 {
+		return 1
+	}
+	return n.Stations[i].Servers
+}
+
+// Flows solves the traffic equations
+//
+//	lambda_j = a_j + sum_i lambda_i * Routing[i][j]
+//
+// by Gaussian elimination on (I - R^T) lambda = a, returning the total
+// arrival rate into each station.
+func (n *Network) Flows() ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(n.Stations)
+	// Build the augmented matrix for (I - R^T) lambda = a.
+	m := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		m[i] = make([]float64, k+1)
+		for j := 0; j < k; j++ {
+			v := -n.Routing[j][i] // transpose
+			if i == j {
+				v += 1
+			}
+			m[i][j] = v
+		}
+		m[i][k] = n.Arrivals[i]
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("qnet: traffic equations are singular (recurrent routing with no exit?)")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < k; r++ {
+			factor := m[r][col] / m[col][col]
+			for c := col; c <= k; c++ {
+				m[r][c] -= factor * m[col][c]
+			}
+		}
+	}
+	flows := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		v := m[i][k]
+		for j := i + 1; j < k; j++ {
+			v -= m[i][j] * flows[j]
+		}
+		flows[i] = v / m[i][i]
+		if flows[i] < -1e-9 {
+			return nil, fmt.Errorf("qnet: negative flow %v at station %d", flows[i], i)
+		}
+		if flows[i] < 0 {
+			flows[i] = 0
+		}
+	}
+	return flows, nil
+}
+
+// Analysis is the steady-state solution of the network.
+type Analysis struct {
+	Flows        []float64 // total arrival rate per station
+	Utilizations []float64 // rho per station (per server)
+	MeanJobs     []float64 // L per station
+	Residence    []float64 // W per station (time per visit)
+	Stable       bool
+	Bottleneck   int     // station with the highest utilization
+	ResponseTime float64 // mean time in network per external job (if stable)
+	Throughput   float64 // total external arrival rate
+}
+
+// Solve computes the steady state. Unstable networks (any rho >= 1)
+// return Stable=false with utilizations filled in and the queue-dependent
+// quantities set to +Inf.
+func (n *Network) Solve() (Analysis, error) {
+	flows, err := n.Flows()
+	if err != nil {
+		return Analysis{}, err
+	}
+	k := len(n.Stations)
+	a := Analysis{
+		Flows:        flows,
+		Utilizations: make([]float64, k),
+		MeanJobs:     make([]float64, k),
+		Residence:    make([]float64, k),
+		Stable:       true,
+	}
+	var totalExternal, totalJobs float64
+	for _, v := range n.Arrivals {
+		totalExternal += v
+	}
+	a.Throughput = totalExternal
+	best := -1.0
+	for i := 0; i < k; i++ {
+		m := float64(n.servers(i))
+		rho := flows[i] / (n.Stations[i].Rate * m)
+		a.Utilizations[i] = rho
+		if rho > best {
+			best = rho
+			a.Bottleneck = i
+		}
+		if rho >= 1 {
+			a.Stable = false
+			a.MeanJobs[i] = math.Inf(1)
+			a.Residence[i] = math.Inf(1)
+			continue
+		}
+		// M/M/m mean jobs: m*rho + C(m, m*rho) * rho/(1-rho), with C the
+		// Erlang-C waiting probability.
+		c := erlangC(n.servers(i), flows[i]/n.Stations[i].Rate)
+		l := m*rho + c*rho/(1-rho)
+		a.MeanJobs[i] = l
+		if flows[i] > 0 {
+			a.Residence[i] = l / flows[i] // Little's law per station
+		}
+		totalJobs += l
+	}
+	if a.Stable && totalExternal > 0 {
+		a.ResponseTime = totalJobs / totalExternal // Little's law, network-wide
+	} else if !a.Stable {
+		a.ResponseTime = math.Inf(1)
+	}
+	return a, nil
+}
+
+// erlangC returns the probability a job waits in an M/M/m queue with
+// offered load u = lambda/mu (in Erlangs).
+func erlangC(m int, u float64) float64 {
+	if m == 1 {
+		return u // for M/M/1, P(wait) = rho
+	}
+	rho := u / float64(m)
+	if rho >= 1 {
+		return 1
+	}
+	// Sum_{k=0}^{m-1} u^k/k! and u^m/m!.
+	term := 1.0
+	var sum float64
+	for k := 0; k < m; k++ {
+		sum += term
+		term *= u / float64(k+1)
+	}
+	top := term / (1 - rho) // u^m/m! / (1-rho)
+	return top / (sum + top)
+}
+
+// Capacity returns the largest factor by which the external arrivals can
+// be scaled while every station stays strictly stable — the network's
+// saturation throughput is Capacity() * sum(Arrivals). This is the
+// generalization of the paper's throughput bound.
+func (n *Network) Capacity() (float64, error) {
+	flows, err := n.Flows()
+	if err != nil {
+		return 0, err
+	}
+	best := math.Inf(1)
+	for i, f := range flows {
+		if f <= 0 {
+			continue
+		}
+		cap := n.Stations[i].Rate * float64(n.servers(i)) / f
+		if cap < best {
+			best = cap
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,252 @@
+package qnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mm1 builds a single M/M/1 queue.
+func mm1(lambda, mu float64) *Network {
+	return &Network{
+		Stations: []Station{{Name: "q", Rate: mu}},
+		Routing:  [][]float64{{0}},
+		Arrivals: []float64{lambda},
+	}
+}
+
+func TestMM1ClosedForm(t *testing.T) {
+	a, err := mm1(0.5, 1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Stable {
+		t.Fatal("rho=0.5 must be stable")
+	}
+	if math.Abs(a.Utilizations[0]-0.5) > 1e-12 {
+		t.Fatalf("rho = %v, want 0.5", a.Utilizations[0])
+	}
+	// L = rho/(1-rho) = 1, W = 1/(mu-lambda) = 2.
+	if math.Abs(a.MeanJobs[0]-1) > 1e-12 {
+		t.Fatalf("L = %v, want 1", a.MeanJobs[0])
+	}
+	if math.Abs(a.ResponseTime-2) > 1e-12 {
+		t.Fatalf("W = %v, want 2", a.ResponseTime)
+	}
+}
+
+func TestMM1Unstable(t *testing.T) {
+	a, err := mm1(2, 1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stable {
+		t.Fatal("rho=2 must be unstable")
+	}
+	if !math.IsInf(a.ResponseTime, 1) {
+		t.Fatal("unstable response time must be +Inf")
+	}
+}
+
+func TestTandemQueues(t *testing.T) {
+	// Two M/M/1 stations in series: W = 1/(mu1-l) + 1/(mu2-l).
+	n := &Network{
+		Stations: []Station{{Name: "a", Rate: 2}, {Name: "b", Rate: 3}},
+		Routing:  [][]float64{{0, 1}, {0, 0}},
+		Arrivals: []float64{1, 0},
+	}
+	a, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Flows[1]-1) > 1e-12 {
+		t.Fatalf("downstream flow = %v, want 1", a.Flows[1])
+	}
+	want := 1/(2.0-1) + 1/(3.0-1)
+	if math.Abs(a.ResponseTime-want) > 1e-12 {
+		t.Fatalf("W = %v, want %v", a.ResponseTime, want)
+	}
+	if a.Bottleneck != 0 {
+		t.Fatalf("bottleneck = %d, want the slower station 0", a.Bottleneck)
+	}
+}
+
+func TestFeedbackQueue(t *testing.T) {
+	// M/M/1 with probability p of rejoining: effective lambda = a/(1-p).
+	p := 0.25
+	n := &Network{
+		Stations: []Station{{Name: "q", Rate: 4}},
+		Routing:  [][]float64{{p}},
+		Arrivals: []float64{1.5},
+	}
+	flows, err := n.Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.5 / (1 - p); math.Abs(flows[0]-want) > 1e-9 {
+		t.Fatalf("flow = %v, want %v", flows[0], want)
+	}
+}
+
+func TestJacksonTwoStation(t *testing.T) {
+	// A classic textbook example: two stations with cross routing.
+	n := &Network{
+		Stations: []Station{{Name: "cpu", Rate: 10}, {Name: "io", Rate: 5}},
+		Routing: [][]float64{
+			{0, 0.5}, // half the CPU completions go to IO
+			{0.4, 0}, // 40% of IO completions return to CPU
+		},
+		Arrivals: []float64{2, 0},
+	}
+	flows, err := n.Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lambda_cpu = 2 + 0.4*lambda_io; lambda_io = 0.5*lambda_cpu
+	// => lambda_cpu = 2 / (1 - 0.2) = 2.5, lambda_io = 1.25.
+	if math.Abs(flows[0]-2.5) > 1e-9 || math.Abs(flows[1]-1.25) > 1e-9 {
+		t.Fatalf("flows = %v, want [2.5 1.25]", flows)
+	}
+}
+
+func TestMMmErlang(t *testing.T) {
+	// M/M/2 with lambda=1, mu=1: rho=0.5. Known closed form:
+	// P(wait) = C(2,1) = (u^2/2!)/((1-rho)*(1+u) + u^2/2!) with u=1:
+	// = 0.5/(0.5*2 + 0.5) = 1/3; L = 2*0.5 + (1/3)*0.5/0.5 = 4/3.
+	n := &Network{
+		Stations: []Station{{Name: "q", Rate: 1, Servers: 2}},
+		Routing:  [][]float64{{0}},
+		Arrivals: []float64{1},
+	}
+	a, err := n.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.MeanJobs[0]-4.0/3.0) > 1e-9 {
+		t.Fatalf("M/M/2 L = %v, want 4/3", a.MeanJobs[0])
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	// Tandem: bottleneck is the slower station; capacity scales arrivals
+	// until it saturates.
+	n := &Network{
+		Stations: []Station{{Name: "a", Rate: 2}, {Name: "b", Rate: 3}},
+		Routing:  [][]float64{{0, 1}, {0, 0}},
+		Arrivals: []float64{1, 0},
+	}
+	c, err := n.Capacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-2) > 1e-12 {
+		t.Fatalf("capacity factor = %v, want 2 (saturating station a)", c)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := []*Network{
+		{}, // no stations
+		{Stations: []Station{{Rate: 1}}, Routing: [][]float64{{0}}, Arrivals: nil},
+		{Stations: []Station{{Rate: 0}}, Routing: [][]float64{{0}}, Arrivals: []float64{1}},
+		{Stations: []Station{{Rate: 1}}, Routing: [][]float64{{1.5}}, Arrivals: []float64{1}},
+		{Stations: []Station{{Rate: 1}}, Routing: [][]float64{{-0.1}}, Arrivals: []float64{1}},
+		{Stations: []Station{{Rate: 1}}, Routing: [][]float64{{0}}, Arrivals: []float64{-1}},
+		{Stations: []Station{{Rate: 1, Servers: -1}}, Routing: [][]float64{{0}}, Arrivals: []float64{1}},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestSingularRouting(t *testing.T) {
+	// A job that never leaves: lambda has no finite solution.
+	n := &Network{
+		Stations: []Station{{Rate: 1}},
+		Routing:  [][]float64{{1}},
+		Arrivals: []float64{1},
+	}
+	if _, err := n.Flows(); err == nil {
+		t.Fatal("recurrent routing should be rejected")
+	}
+}
+
+// Property: for random feed-forward networks, flows are nonnegative and
+// Little's law holds network-wide (ResponseTime * Throughput = total mean
+// jobs) whenever the network is stable.
+func TestPropertyLittlesLaw(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(4)
+		n := &Network{
+			Stations: make([]Station, k),
+			Routing:  make([][]float64, k),
+			Arrivals: make([]float64, k),
+		}
+		for i := 0; i < k; i++ {
+			n.Stations[i] = Station{Rate: 5 + rng.Float64()*10, Servers: 1 + rng.Intn(2)}
+			n.Routing[i] = make([]float64, k)
+			// Feed-forward: route only to higher-numbered stations.
+			budget := 0.9
+			for j := i + 1; j < k; j++ {
+				p := rng.Float64() * budget / float64(k)
+				n.Routing[i][j] = p
+				budget -= p
+			}
+			n.Arrivals[i] = rng.Float64()
+		}
+		a, err := n.Solve()
+		if err != nil {
+			return false
+		}
+		if !a.Stable {
+			return true // nothing to check
+		}
+		var totalJobs float64
+		for _, l := range a.MeanJobs {
+			totalJobs += l
+		}
+		return math.Abs(a.ResponseTime*a.Throughput-totalJobs) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: capacity is exactly the scale at which the bottleneck hits
+// utilization 1: scaling arrivals by capacity*(1-eps) stays stable and by
+// capacity*(1+eps) does not.
+func TestPropertyCapacityIsCritical(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := &Network{
+			Stations: []Station{
+				{Rate: 1 + rng.Float64()*5},
+				{Rate: 1 + rng.Float64()*5},
+			},
+			Routing:  [][]float64{{0, rng.Float64() * 0.9}, {0, 0}},
+			Arrivals: []float64{0.1 + rng.Float64(), rng.Float64() * 0.5},
+		}
+		c, err := n.Capacity()
+		if err != nil {
+			return false
+		}
+		scale := func(f float64) *Network {
+			cp := *n
+			cp.Arrivals = []float64{n.Arrivals[0] * f, n.Arrivals[1] * f}
+			return &cp
+		}
+		under, err1 := scale(c * 0.999).Solve()
+		over, err2 := scale(c * 1.001).Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return under.Stable && !over.Stable
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,469 @@
+package queuemodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/qnet"
+)
+
+func params(sizeKB float64) Params {
+	p := DefaultParams()
+	p.AvgFileKB = sizeKB
+	return p
+}
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.Nodes != 16 || p.Alpha != 1 || p.CacheBytes != 128<<20 {
+		t.Fatalf("header defaults wrong: %+v", p)
+	}
+	// Spot-check the service-rate formulas of Table 1.
+	if got := 1 / p.ParseTime(); math.Abs(got-6300) > 1e-9 {
+		t.Errorf("mu_p = %v, want 6300", got)
+	}
+	if got := 1 / p.ForwardTime(); math.Abs(got-10000) > 1e-9 {
+		t.Errorf("mu_f = %v, want 10000", got)
+	}
+	if got := 1 / p.NIInTime(); math.Abs(got-140000) > 1e-9 {
+		t.Errorf("mu_i = %v, want 140000", got)
+	}
+	// mu_m at S=12: 1/(0.0001+0.001) = 909.09 ops/s
+	if got := 1 / p.ReplyTime(12); math.Abs(got-1/0.0011) > 1e-6 {
+		t.Errorf("mu_m(12KB) = %v", got)
+	}
+	// mu_d at S=10: 1/(0.028+0.001)
+	if got := 1 / p.DiskTime(10); math.Abs(got-1/0.029) > 1e-6 {
+		t.Errorf("mu_d(10KB) = %v", got)
+	}
+	// mu_o at S=128: 1/(3e-6+0.001)
+	if got := 1 / p.NIOutTime(128); math.Abs(got-1/0.001003) > 1e-6 {
+		t.Errorf("mu_o(128KB) = %v", got)
+	}
+	// mu_r at size=50: 10000 ops/s
+	if got := 1 / p.RouterTime(50); math.Abs(got-10000) > 1e-6 {
+		t.Errorf("mu_r(50KB) = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := params(20)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.Nodes = 0 },
+		func(p *Params) { p.Replication = -0.1 },
+		func(p *Params) { p.Replication = 1.5 },
+		func(p *Params) { p.AvgFileKB = 0 },
+		func(p *Params) { p.CacheBytes = 0 },
+		func(p *Params) { p.Alpha = -1 },
+	}
+	for i, mutate := range bad {
+		p := params(20)
+		mutate(&p)
+		if p.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestHitRatesLiftsHitRate(t *testing.T) {
+	p := params(8)
+	for _, hlo := range []float64{0.2, 0.5, 0.8} {
+		hlc, h := p.HitRates(hlo)
+		if hlc < hlo {
+			t.Errorf("Hlo=%v: Hlc=%v must be >= Hlo", hlo, hlc)
+		}
+		if h != 0 {
+			t.Errorf("R=0 must give h=0, got %v", h)
+		}
+	}
+}
+
+func TestHitRatesWithReplication(t *testing.T) {
+	p := params(8)
+	p.Replication = 0.15
+	hlc, h := p.HitRates(0.6)
+	if h <= 0 || h >= 1 {
+		t.Fatalf("h = %v, want in (0,1)", h)
+	}
+	if hlc <= 0.6 {
+		t.Fatalf("Hlc = %v, want > Hlo", hlc)
+	}
+	// Full replication degenerates to the oblivious server: Clc = C.
+	p.Replication = 1
+	hlc, _ = p.HitRates(0.6)
+	if math.Abs(hlc-0.6) > 0.02 {
+		t.Fatalf("R=1 should give Hlc ~ Hlo, got %v", hlc)
+	}
+}
+
+func TestHitRateEdges(t *testing.T) {
+	p := params(8)
+	if hlc, h := p.HitRates(0); hlc != 0 || h != 0 {
+		t.Fatalf("Hlo=0 gave (%v,%v)", hlc, h)
+	}
+	if hlc, _ := p.HitRates(1); hlc != 1 {
+		t.Fatalf("Hlo=1 gave Hlc=%v", hlc)
+	}
+}
+
+func TestForwardFraction(t *testing.T) {
+	p := params(8)
+	if q := p.ForwardFraction(0); math.Abs(q-15.0/16.0) > 1e-12 {
+		t.Fatalf("Q(h=0) = %v, want 15/16", q)
+	}
+	if q := p.ForwardFraction(1); q != 0 {
+		t.Fatalf("Q(h=1) = %v, want 0", q)
+	}
+	p.Nodes = 1
+	if q := p.ForwardFraction(0); q != 0 {
+		t.Fatalf("single node must not forward, Q=%v", q)
+	}
+}
+
+func TestObliviousBottlenecks(t *testing.T) {
+	// Small files, hit rate 1: CPU bound.
+	r := params(4).Oblivious(1)
+	if r.Bottleneck != CPU {
+		t.Fatalf("small files, H=1: bottleneck = %v, want cpu", r.Bottleneck)
+	}
+	// Low hit rate: disk bound.
+	r = params(4).Oblivious(0.2)
+	if r.Bottleneck != Disk {
+		t.Fatalf("H=0.2: bottleneck = %v, want disk", r.Bottleneck)
+	}
+}
+
+func TestThroughputKnownValue(t *testing.T) {
+	// Hand-computed: oblivious, S=4KB, H=1. CPU demand = 1/6300 +
+	// (0.0001 + 4/12000) = 0.00059206..., 16 nodes.
+	r := params(4).Oblivious(1)
+	cpu := 1/6300.0 + 0.0001 + 4.0/12000
+	want := 16 / cpu
+	if math.Abs(r.RequestsPerSec-want)/want > 1e-9 {
+		t.Fatalf("throughput = %v, want %v", r.RequestsPerSec, want)
+	}
+}
+
+func TestConsciousBeatsObliviousMidRange(t *testing.T) {
+	p := params(8)
+	for _, hlo := range []float64{0.5, 0.6, 0.7, 0.8} {
+		c := p.Conscious(hlo).RequestsPerSec
+		o := p.Oblivious(hlo).RequestsPerSec
+		if c <= o {
+			t.Errorf("Hlo=%v: conscious %v should beat oblivious %v", hlo, c, o)
+		}
+	}
+}
+
+// The headline modeling result: locality-conscious distribution on 16 nodes
+// improves throughput by up to ~7x (Figure 5), and the improvement dips
+// below 1 for very high hit rates and small files, where forwarding only
+// adds overhead.
+func TestFigure5PeakIncrease(t *testing.T) {
+	hits, sizes := DefaultGrid()
+	s := IncreaseSurface(DefaultParams(), hits, sizes)
+	peak, atHit, atSize := s.Max()
+	if peak < 5.5 || peak > 8.5 {
+		t.Fatalf("peak increase = %.2f at (H=%v, S=%v), paper reports ~7", peak, atHit, atSize)
+	}
+	if atHit < 0.75 {
+		t.Errorf("peak at Hlo=%v, expected high hit rates", atHit)
+	}
+	if atSize > 32 {
+		t.Errorf("peak at S=%vKB, expected small files", atSize)
+	}
+	// Near Hlo=1 with small files the conscious server pays forwarding for
+	// nothing: ratio slightly below 1.
+	if v := s.At(1.0, 4); v >= 1 {
+		t.Errorf("increase at (1.0, 4KB) = %v, want < 1", v)
+	}
+}
+
+// Figures 3/4: absolute throughput peaks near 2.5e4 requests/s at small
+// files and high hit rates.
+func TestFigure34PeakLevels(t *testing.T) {
+	hits, sizes := DefaultGrid()
+	fig3, _, _ := ObliviousSurface(DefaultParams(), hits, sizes).Max()
+	fig4, _, _ := ConsciousSurface(DefaultParams(), hits, sizes).Max()
+	if fig3 < 20000 || fig3 > 35000 {
+		t.Errorf("figure 3 peak = %v, paper plots ~2.5e4", fig3)
+	}
+	if fig4 < 18000 || fig4 > 30000 {
+		t.Errorf("figure 4 peak = %v, paper plots ~2.5e4", fig4)
+	}
+}
+
+// Section 3.2: "larger memories reduce the throughput benefit of
+// considering locality just about everywhere in the parameter space",
+// though significant gains remain. The gain at the exact peak point is
+// CPU-bound under the published parameters and does not move; the rest of
+// the surface does, so we compare the mean gain over the grid and check
+// that large gains survive at 512 MB.
+func TestMemorySweepReducesGain(t *testing.T) {
+	hits, sizes := DefaultGrid()
+	base := DefaultParams()
+	big := base
+	big.CacheBytes = 512 << 20
+	s128 := IncreaseSurface(base, hits, sizes)
+	s512 := IncreaseSurface(big, hits, sizes)
+	mean := func(s Surface) float64 {
+		var sum float64
+		var n int
+		for _, row := range s.Values {
+			for _, v := range row {
+				sum += v
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	m128, m512 := mean(s128), mean(s512)
+	if m512 >= m128 {
+		t.Fatalf("512MB mean gain %v should be below 128MB mean gain %v", m512, m128)
+	}
+	peak512, _, _ := s512.Max()
+	if peak512 < 5 {
+		t.Errorf("512MB peak = %v, paper reports gains still peaking around 6.5", peak512)
+	}
+}
+
+// Replication reduces forwarding (Q) and trades total cache for copies.
+func TestReplicationEffects(t *testing.T) {
+	p := params(8)
+	p.Replication = 0.15
+	_, h := p.HitRates(0.7)
+	q15 := p.ForwardFraction(h)
+	p0 := params(8)
+	_, h0 := p0.HitRates(0.7)
+	q0 := p0.ForwardFraction(h0)
+	if q15 >= q0 {
+		t.Fatalf("15%% replication should cut forwarding: Q=%v vs %v", q15, q0)
+	}
+}
+
+// Property: throughput bounds are positive, and monotone in the obvious
+// directions (more nodes never hurts; higher hit rate never hurts;
+// larger files never help).
+func TestPropertyThroughputMonotonic(t *testing.T) {
+	prop := func(hRaw, sRaw uint16, nRaw uint8) bool {
+		h := float64(hRaw) / 65535
+		s := 4 + 124*float64(sRaw)/65535
+		n := int(nRaw%16) + 1
+		p := params(s)
+		p.Nodes = n
+		base := p.Oblivious(h).RequestsPerSec
+		if base <= 0 || math.IsInf(base, 0) {
+			return false
+		}
+		p2 := p
+		p2.Nodes = n + 1
+		if p2.Oblivious(h).RequestsPerSec < base-1e-9 {
+			return false
+		}
+		if h < 0.99 && p.Oblivious(math.Min(1, h+0.01)).RequestsPerSec < base-1e-9 {
+			return false
+		}
+		p3 := p
+		p3.AvgFileKB = s + 1
+		return p3.Oblivious(h).RequestsPerSec <= base+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Conscious never returns a lower hit rate than Oblivious uses,
+// and its throughput exceeds oblivious whenever forwarding is free (h=1).
+func TestPropertyConsciousHitDominance(t *testing.T) {
+	prop := func(hRaw uint16, sRaw uint16) bool {
+		h := 0.05 + 0.9*float64(hRaw)/65535
+		s := 4 + 60*float64(sRaw)/65535
+		p := params(s)
+		hlc, _ := p.HitRates(h)
+		return hlc >= h-1e-9 && hlc <= 1+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyBehavior(t *testing.T) {
+	p := params(16)
+	cap := p.Oblivious(0.8).RequestsPerSec
+	l1 := p.Latency(cap*0.1, 0.8, 0)
+	l2 := p.Latency(cap*0.9, 0.8, 0)
+	if l1 <= 0 || l2 <= l1 {
+		t.Fatalf("latency must grow with load: %v -> %v", l1, l2)
+	}
+	if !math.IsInf(p.Latency(cap*1.01, 0.8, 0), 1) {
+		t.Fatal("latency beyond saturation must be +Inf")
+	}
+	if p.Latency(0, 0.8, 0) != 0 {
+		t.Fatal("zero load should report zero latency")
+	}
+}
+
+func TestCenterString(t *testing.T) {
+	if CPU.String() != "cpu" || Router.String() != "router" {
+		t.Fatal("center names wrong")
+	}
+	if !strings.Contains(Center(99).String(), "99") {
+		t.Fatal("unknown center should render its number")
+	}
+}
+
+func TestSurfaceHelpers(t *testing.T) {
+	hits := []float64{0, 0.5, 1}
+	sizes := []float64{4, 64}
+	s := ObliviousSurface(DefaultParams(), hits, sizes)
+	if len(s.Values) != 3 || len(s.Values[0]) != 2 {
+		t.Fatalf("surface shape wrong")
+	}
+	// At() snaps to the nearest grid point.
+	if s.At(0.49, 5) != s.Values[1][0] {
+		t.Fatal("At() did not snap to nearest point")
+	}
+	side := s.SideView()
+	if len(side) != 3 {
+		t.Fatal("side view length wrong")
+	}
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "hit_rate") || len(strings.Split(buf.String(), "\n")) < 4 {
+		t.Fatal("CSV output malformed")
+	}
+}
+
+// Per-trace model curves must scale with node count and saturate: the NASA
+// workload (large files) is CPU-transmit bound around 4000 req/s at 16
+// nodes under the published parameters.
+func TestTraceModelNASALevel(t *testing.T) {
+	p := DefaultParams()
+	p.CacheBytes = 32 << 20
+	p.Replication = 0.15
+	p.Alpha = 0.91
+	p.AvgFileKB = 47.0
+	r := p.ConsciousForCatalog(5500)
+	if r.RequestsPerSec < 3000 || r.RequestsPerSec > 4500 {
+		t.Fatalf("NASA model bound = %v, expected ~3800", r.RequestsPerSec)
+	}
+	// And it grows with N below saturation.
+	p.Nodes = 8
+	r8 := p.ConsciousForCatalog(5500)
+	if r8.RequestsPerSec >= r.RequestsPerSec {
+		t.Fatalf("8-node bound %v should be below 16-node bound %v",
+			r8.RequestsPerSec, r.RequestsPerSec)
+	}
+}
+
+func BenchmarkConscious(b *testing.B) {
+	p := params(8)
+	for i := 0; i < b.N; i++ {
+		p.Conscious(0.7)
+	}
+}
+
+func BenchmarkIncreaseSurface(b *testing.B) {
+	hits, sizes := DefaultGrid()
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IncreaseSurface(p, hits, sizes)
+	}
+}
+
+func TestUtilizationsAtCapacity(t *testing.T) {
+	p := params(16)
+	r := p.Oblivious(0.8)
+	utils := p.Utilizations(r.RequestsPerSec, 0.8, 0)
+	// At the bound, the bottleneck center sits at utilization 1 and no
+	// center exceeds it.
+	if math.Abs(utils[r.Bottleneck]-1) > 1e-9 {
+		t.Fatalf("bottleneck %v utilization = %v, want 1", r.Bottleneck, utils[r.Bottleneck])
+	}
+	for c, u := range utils {
+		if u > 1+1e-9 {
+			t.Errorf("center %v exceeds saturation: %v", c, u)
+		}
+	}
+	// At half the load, every utilization halves.
+	half := p.Utilizations(r.RequestsPerSec/2, 0.8, 0)
+	for c := range utils {
+		if math.Abs(half[c]-utils[c]/2) > 1e-9 {
+			t.Errorf("center %v does not scale linearly", c)
+		}
+	}
+}
+
+// Cross-validation: the simulator's FCFS resources and the model's M/M/1
+// formulas agree on utilization by construction; this pins the shared
+// demand arithmetic. A request stream at rate lambda with hit rate h puts
+// (1-h)*DiskTime(S) demand on the disk; the bound solver must place the
+// disk at utilization (lambda/N)*(1-h)*DiskTime(S).
+func TestDemandArithmetic(t *testing.T) {
+	p := params(32)
+	lambda := 1000.0
+	utils := p.Utilizations(lambda, 0.7, 0)
+	wantDisk := lambda / float64(p.Nodes) * 0.3 * p.DiskTime(32)
+	if math.Abs(utils[Disk]-wantDisk) > 1e-12 {
+		t.Fatalf("disk utilization = %v, want %v", utils[Disk], wantDisk)
+	}
+	wantRouter := lambda * p.RouterTime(p.ReqKB+32)
+	if math.Abs(utils[Router]-wantRouter) > 1e-12 {
+		t.Fatalf("router utilization = %v, want %v", utils[Router], wantRouter)
+	}
+}
+
+// Cross-validation against the general Jackson-network solver: encode the
+// Figure 2 cluster as a qnet network (one aggregated M/M/N station per
+// center type, service rate = 1/per-request demand) and check that its
+// capacity equals this package's bottleneck throughput.
+func TestBoundMatchesQnetCapacity(t *testing.T) {
+	for _, tc := range []struct {
+		hlo  float64
+		size float64
+	}{{0.5, 8}, {0.8, 32}, {0.95, 4}, {0.3, 96}} {
+		p := params(tc.size)
+		r := p.Conscious(tc.hlo)
+		d := r.Demands
+
+		var stations []qnet.Station
+		var arrivals []float64
+		for c := Center(0); c < numCenters; c++ {
+			demand := d.PerRequest[c]
+			if demand <= 0 {
+				continue
+			}
+			servers := p.Nodes
+			if c == Router {
+				servers = 1
+			}
+			stations = append(stations, qnet.Station{
+				Name:    c.String(),
+				Rate:    1 / demand,
+				Servers: servers,
+			})
+			arrivals = append(arrivals, 1) // one visit per request
+		}
+		routing := make([][]float64, len(stations))
+		for i := range routing {
+			routing[i] = make([]float64, len(stations))
+		}
+		n := &qnet.Network{Stations: stations, Routing: routing, Arrivals: arrivals}
+		cap, err := n.Capacity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cap-r.RequestsPerSec)/r.RequestsPerSec > 1e-9 {
+			t.Errorf("Hlo=%v S=%v: qnet capacity %v != model bound %v",
+				tc.hlo, tc.size, cap, r.RequestsPerSec)
+		}
+	}
+}

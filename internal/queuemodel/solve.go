@@ -1,0 +1,186 @@
+package queuemodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Center names the service centers of the queuing network (Figure 2).
+type Center int
+
+// The service centers of the model.
+const (
+	Router Center = iota
+	NIIn
+	CPU
+	Disk
+	NIOut
+	numCenters
+)
+
+var centerNames = [...]string{"router", "ni-in", "cpu", "disk", "ni-out"}
+
+// String returns the center's name.
+func (c Center) String() string {
+	if c < 0 || int(c) >= len(centerNames) {
+		return fmt.Sprintf("center(%d)", int(c))
+	}
+	return centerNames[c]
+}
+
+// Demands holds the per-request service demand (seconds of service per
+// request) placed on each center. Node-local centers are per node, i.e.
+// they see 1/N of the request stream.
+type Demands struct {
+	PerRequest [numCenters]float64
+}
+
+// demands computes per-request service demands for a server with cache hit
+// rate hit and forwarded fraction q.
+func (p Params) demands(hit, q float64) Demands {
+	s := p.AvgFileKB
+	var d Demands
+	// The router moves the inbound request and the outbound reply.
+	d.PerRequest[Router] = p.RouterTime(p.ReqKB + s)
+	// The initial node receives the request; a forwarded request is also
+	// received by the service node's NI.
+	d.PerRequest[NIIn] = (1 + q) * p.NIInTime()
+	// CPU: parse at the initial node, forwarding for a q fraction, and
+	// reply transmit processing at the service node.
+	d.PerRequest[CPU] = p.ParseTime() + q*p.ForwardTime() + p.ReplyTime(s)
+	// Disk: only on misses.
+	d.PerRequest[Disk] = (1 - hit) * p.DiskTime(s)
+	// NI out: the reply, plus the hand-off message for forwarded requests.
+	d.PerRequest[NIOut] = p.NIOutTime(s) + q*p.NIOutTime(p.ReqKB)
+	return d
+}
+
+// Throughput is the result of a bound computation.
+type Throughput struct {
+	RequestsPerSec float64
+	Bottleneck     Center
+	Demands        Demands
+
+	Hit     float64 // cache hit rate used
+	Forward float64 // forwarded fraction used
+}
+
+// maxThroughput computes the saturation throughput: the request rate at
+// which the most-utilized center reaches utilization 1. The router is a
+// single shared center; the others are replicated per node.
+func (p Params) maxThroughput(hit, q float64) Throughput {
+	d := p.demands(hit, q)
+	best := math.Inf(1)
+	var bottleneck Center
+	for c := Center(0); c < numCenters; c++ {
+		demand := d.PerRequest[c]
+		if demand <= 0 {
+			continue
+		}
+		capacity := 1 / demand
+		if c != Router {
+			capacity *= float64(p.Nodes)
+		}
+		if capacity < best {
+			best = capacity
+			bottleneck = c
+		}
+	}
+	return Throughput{
+		RequestsPerSec: best,
+		Bottleneck:     bottleneck,
+		Demands:        d,
+		Hit:            hit,
+		Forward:        q,
+	}
+}
+
+// Bound returns the saturation throughput for an explicitly given cache
+// hit rate and forwarded fraction, bypassing the Zipf hit-rate algebra.
+// Use it when hit rates are measured on a concrete workload rather than
+// derived from z(n, F).
+func (p Params) Bound(hit, q float64) Throughput {
+	return p.maxThroughput(hit, q)
+}
+
+// Oblivious returns the throughput bound of the traditional,
+// locality-oblivious server at the given locality-oblivious hit rate: its
+// cache is effectively C bytes (every node caches the same popular files)
+// and it never forwards.
+func (p Params) Oblivious(hlo float64) Throughput {
+	return p.maxThroughput(hlo, 0)
+}
+
+// Conscious returns the throughput bound of a locality-conscious server at
+// the given locality-oblivious hit rate. Its hit rate is lifted to Hlc via
+// the catalog-size inversion of Section 3.1, and it forwards a
+// Q = (N-1)(1-h)/N fraction of requests.
+func (p Params) Conscious(hlo float64) Throughput {
+	hlc, h := p.HitRates(hlo)
+	return p.maxThroughput(hlc, p.ForwardFraction(h))
+}
+
+// ConsciousForCatalog returns the locality-conscious bound for a concrete
+// catalog of files (the per-trace "model" curves of Figures 7-10).
+func (p Params) ConsciousForCatalog(files int64) Throughput {
+	hlc, h := p.hitRatesForCatalog(files)
+	return p.maxThroughput(hlc, p.ForwardFraction(h))
+}
+
+// ObliviousForCatalog returns the locality-oblivious bound for a concrete
+// catalog of files.
+func (p Params) ObliviousForCatalog(files int64) Throughput {
+	hlo, _, _ := p.HitRatesForCatalog(files)
+	return p.maxThroughput(hlo, 0)
+}
+
+// Utilizations returns the per-center utilization at offered load lambda
+// (requests/s) for the given hit rate and forwarded fraction. Values above
+// 1 mean the center is beyond saturation at that load.
+func (p Params) Utilizations(lambda, hit, q float64) map[Center]float64 {
+	d := p.demands(hit, q)
+	out := make(map[Center]float64, int(numCenters))
+	for c := Center(0); c < numCenters; c++ {
+		demand := d.PerRequest[c]
+		if demand <= 0 {
+			out[c] = 0
+			continue
+		}
+		rate := lambda
+		if c != Router {
+			rate /= float64(p.Nodes)
+		}
+		out[c] = rate * demand
+	}
+	return out
+}
+
+// Latency returns the mean request residence time at offered load lambda
+// (requests/s), treating every center as M/M/1 and summing residence times.
+// It returns +Inf at or beyond saturation. The paper focuses on throughput;
+// latency is provided for completeness and for sanity checks.
+func (p Params) Latency(lambda, hit, q float64) float64 {
+	if lambda <= 0 {
+		return 0
+	}
+	d := p.demands(hit, q)
+	var w float64
+	for c := Center(0); c < numCenters; c++ {
+		demand := d.PerRequest[c]
+		if demand <= 0 {
+			continue
+		}
+		rate := lambda
+		if c != Router {
+			rate /= float64(p.Nodes)
+		}
+		// Residence time of an M/M/1 with utilization rho = rate*demand:
+		// demand/(1-rho).
+		rho := rate * demand
+		if rho >= 1 {
+			return math.Inf(1)
+		}
+		w += demand / (1 - rho)
+	}
+	return w
+}

@@ -1,0 +1,141 @@
+package queuemodel
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Surface is a throughput (or ratio) grid over the (Hlo, S) parameter plane
+// used by Figures 3-6: rows are locality-oblivious hit rates, columns are
+// average file sizes in KB.
+type Surface struct {
+	Name     string
+	HitRates []float64   // row axis
+	SizesKB  []float64   // column axis
+	Values   [][]float64 // Values[i][j] at (HitRates[i], SizesKB[j])
+}
+
+// DefaultGrid returns the parameter grid of the paper's surface plots: hit
+// rates 0 to 1 and average file sizes 4 KB to 128 KB.
+func DefaultGrid() (hits, sizes []float64) {
+	for h := 0.0; h <= 1.0001; h += 0.05 {
+		hits = append(hits, math.Min(h, 1))
+	}
+	for s := 4.0; s <= 128.0001; s += 4 {
+		sizes = append(sizes, s)
+	}
+	return hits, sizes
+}
+
+// evalSurface fills a grid by evaluating fn at every (hit, size) point.
+func evalSurface(name string, p Params, hits, sizes []float64, fn func(Params, float64) float64) Surface {
+	values := make([][]float64, len(hits))
+	for i, h := range hits {
+		row := make([]float64, len(sizes))
+		for j, s := range sizes {
+			q := p
+			q.AvgFileKB = s
+			row[j] = fn(q, h)
+		}
+		values[i] = row
+	}
+	return Surface{Name: name, HitRates: hits, SizesKB: sizes, Values: values}
+}
+
+// ObliviousSurface reproduces Figure 3: throughput of a locality-oblivious
+// server over the (Hlo, S) plane.
+func ObliviousSurface(p Params, hits, sizes []float64) Surface {
+	return evalSurface("figure3-oblivious", p, hits, sizes,
+		func(q Params, h float64) float64 { return q.Oblivious(h).RequestsPerSec })
+}
+
+// ConsciousSurface reproduces Figure 4: throughput of a locality-conscious
+// server over the same plane.
+func ConsciousSurface(p Params, hits, sizes []float64) Surface {
+	return evalSurface("figure4-conscious", p, hits, sizes,
+		func(q Params, h float64) float64 { return q.Conscious(h).RequestsPerSec })
+}
+
+// IncreaseSurface reproduces Figure 5: the throughput of the
+// locality-conscious server divided by that of the locality-oblivious one.
+func IncreaseSurface(p Params, hits, sizes []float64) Surface {
+	return evalSurface("figure5-increase", p, hits, sizes, func(q Params, h float64) float64 {
+		return q.Conscious(h).RequestsPerSec / q.Oblivious(h).RequestsPerSec
+	})
+}
+
+// SideView reproduces Figure 6: for each hit rate, the range of the
+// increase across file sizes collapses to its maximum (the silhouette of
+// the Figure 5 surface seen from the size axis).
+func (s Surface) SideView() []float64 {
+	out := make([]float64, len(s.HitRates))
+	for i, row := range s.Values {
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		out[i] = max
+	}
+	return out
+}
+
+// Max returns the largest value on the surface and its coordinates.
+func (s Surface) Max() (v, hit, size float64) {
+	v = math.Inf(-1)
+	for i, row := range s.Values {
+		for j, x := range row {
+			if x > v {
+				v, hit, size = x, s.HitRates[i], s.SizesKB[j]
+			}
+		}
+	}
+	return v, hit, size
+}
+
+// At returns the value at the grid point nearest to (hit, size).
+func (s Surface) At(hit, size float64) float64 {
+	return s.Values[nearest(s.HitRates, hit)][nearest(s.SizesKB, size)]
+}
+
+func nearest(xs []float64, x float64) int {
+	best, bd := 0, math.Inf(1)
+	for i, v := range xs {
+		if d := math.Abs(v - x); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+// WriteCSV renders the surface as a CSV matrix with axis headers, the
+// format consumed by external plotting tools.
+func (s Surface) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "hit_rate\\size_kb"); err != nil {
+		return err
+	}
+	for _, sz := range s.SizesKB {
+		if _, err := fmt.Fprintf(w, ",%g", sz); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, h := range s.HitRates {
+		if _, err := fmt.Fprintf(w, "%g", h); err != nil {
+			return err
+		}
+		for _, v := range s.Values[i] {
+			if _, err := fmt.Fprintf(w, ",%.2f", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

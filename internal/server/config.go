@@ -1,0 +1,246 @@
+// Package server is the trace-driven cluster server simulator of Section 5:
+// it drives a request-distribution policy (traditional, LARD, or L2S) over
+// a WWW trace on a simulated cluster, at saturation, and measures
+// throughput, cache miss rate, CPU idle time, and the fraction of forwarded
+// requests — the four quantities the paper's evaluation reports.
+//
+// Saturation methodology: the paper disregards trace timing and schedules a
+// new request "as soon as the router and network interface buffers would
+// accept them". The simulator reproduces this with a connection window: a
+// fixed number of outstanding connections per node is kept in flight, and
+// every completion immediately injects the next trace request.
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/queuemodel"
+)
+
+// System selects the server under test.
+type System int
+
+// The three systems of the paper's evaluation.
+const (
+	Traditional System = iota
+	LARDServer
+	LARDDispatcher // Section 6's scalable LARD variant (Aron et al. 2000)
+	L2SServer
+	CustomServer // uses Config.CustomPolicy
+)
+
+// String names the system.
+func (s System) String() string {
+	switch s {
+	case Traditional:
+		return "traditional"
+	case LARDServer:
+		return "lard"
+	case LARDDispatcher:
+		return "lard-dispatch"
+	case L2SServer:
+		return "l2s"
+	case CustomServer:
+		return "custom"
+	}
+	return fmt.Sprintf("system(%d)", int(s))
+}
+
+// Config describes one simulation run.
+type Config struct {
+	System     System
+	Nodes      int
+	CacheBytes int64 // per-node main memory (Section 5.1: 32 MB)
+
+	// Costs supplies the Table 1 service-time constants. AvgFileKB is
+	// ignored: the simulator uses each request's actual size.
+	Costs queuemodel.Params
+	// Net supplies the communication constants (M-VIA over Gigabit).
+	Net netsim.Config
+
+	L2S  core.Options
+	LARD policy.LARDOptions
+
+	// FECostSec is the front-end CPU time per request for LARD's accept,
+	// parse, and hand-off, calibrated to the ~5000 requests/second
+	// front-end ceiling both the paper and the LARD paper report.
+	FECostSec float64
+
+	// DispatchQuerySec is the dispatcher CPU time per decision query for
+	// the LARDDispatcher system (its saturation point; Section 6 notes it
+	// is "much less serious" than the original front-end's).
+	DispatchQuerySec float64
+
+	// WindowPerNode is the per-node outstanding-connection budget that
+	// implements the saturation methodology.
+	WindowPerNode int
+
+	// ArrivalRate, when positive, switches from the paper's saturation
+	// methodology to an open-loop Poisson arrival process at this many
+	// requests per second. Latency then measures true client-perceived
+	// response time at a given offered load (and can be compared against
+	// the analytic model's M/M/1 Latency). WindowPerNode is ignored.
+	ArrivalRate float64
+	// ArrivalSeed seeds the Poisson process.
+	ArrivalSeed int64
+
+	// WarmFraction is the fraction of the trace used to warm caches before
+	// measurement begins, mirroring the paper's warm-up pass.
+	WarmFraction float64
+
+	// CPUChunkKB is the transmit-processing quantum: reply CPU work is
+	// charged in chunks of this many kilobytes so that transmissions
+	// interleave with request parsing and forwarding, as in the LARD
+	// paper's cost model (40 us per 512 bytes). Zero selects 8 KB; a large
+	// value degenerates to whole-reply FCFS occupancy.
+	CPUChunkKB float64
+
+	// MaxRequests truncates the trace when positive.
+	MaxRequests int
+
+	// FailNode, when >= 0, crashes that node after FailAtFrac of the trace
+	// has been injected — used to compare availability (L2S has no single
+	// point of failure; LARD's front-end is one).
+	FailNode   int
+	FailAtFrac float64
+
+	// Persistent enables HTTP/1.1-style persistent connections: each
+	// connection carries several requests (geometrically distributed with
+	// mean ReqsPerConn) and stays bound to the node that accepted it.
+	// Requests whose content lives elsewhere are served by back-end
+	// forwarding in the style of Aron et al.: the caching node reads the
+	// file and ships it to the connection's node, which transmits it to
+	// the client. Section 4 of the paper defers persistent connections to
+	// exactly this mechanism.
+	Persistent  bool
+	ReqsPerConn float64 // mean requests per connection (default 7)
+	PersistSeed int64   // RNG seed for connection lengths
+
+	// CPUSpeeds, when non-nil, gives each node a relative CPU speed
+	// (1 = the Table 1 baseline); all CPU costs at node i divide by
+	// CPUSpeeds[i]. The paper assumes "all cluster nodes are equally
+	// powerful"; this knob explores mixed-generation clusters, where
+	// connection counting automatically steers work toward faster nodes.
+	CPUSpeeds []float64
+
+	// DistributedFS models the cluster's distributed file system
+	// explicitly: every file has a home disk (hashed over the nodes), and
+	// a cache miss at another node fetches the file from the home node's
+	// disk across the cluster network. When false (the default, matching
+	// the paper's evaluation), misses read a local disk — the behavior of
+	// a DFS with locally replicated storage.
+	DistributedFS bool
+
+	// TimelineBucket, when positive, records a throughput time series with
+	// buckets of this many simulated seconds — useful for watching the
+	// failure experiments (Result.Timeline).
+	TimelineBucket float64
+
+	// CustomPolicy builds the distributor when System == CustomServer.
+	CustomPolicy func(env policy.Env) policy.Distributor
+}
+
+// DefaultConfig returns the paper's simulation setup for the given system
+// and cluster size: 32 MB caches, Table 1 costs, M-VIA messaging, L2S with
+// T=20/t=10/delta=4, LARD with the published parameters, and a 5000
+// request/s front-end.
+func DefaultConfig(system System, nodes int) Config {
+	return Config{
+		System:           system,
+		Nodes:            nodes,
+		CacheBytes:       32 << 20,
+		Costs:            queuemodel.DefaultParams(),
+		Net:              netsim.DefaultConfig(),
+		L2S:              core.DefaultOptions(),
+		LARD:             policy.DefaultLARDOptions(),
+		FECostSec:        0.0002,
+		DispatchQuerySec: 0.0001,
+		WindowPerNode:    12,
+		WarmFraction:     0.4,
+		CPUChunkKB:       8,
+		FailNode:         -1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("server: need at least one node, got %d", c.Nodes)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("server: negative cache size %d", c.CacheBytes)
+	case c.WindowPerNode < 1:
+		return fmt.Errorf("server: window per node must be >= 1, got %d", c.WindowPerNode)
+	case c.WarmFraction < 0 || c.WarmFraction > 0.95:
+		return fmt.Errorf("server: warm fraction %v outside [0, 0.95]", c.WarmFraction)
+	case c.System == LARDServer && c.FECostSec <= 0:
+		return fmt.Errorf("server: LARD needs a positive front-end cost")
+	case c.System == CustomServer && c.CustomPolicy == nil:
+		return fmt.Errorf("server: CustomServer needs a CustomPolicy")
+	case c.FailNode >= c.Nodes:
+		return fmt.Errorf("server: fail node %d outside cluster of %d", c.FailNode, c.Nodes)
+	case c.Persistent && c.ReqsPerConn < 1:
+		return fmt.Errorf("server: persistent connections need ReqsPerConn >= 1, got %v", c.ReqsPerConn)
+	case c.ArrivalRate < 0:
+		return fmt.Errorf("server: negative arrival rate %v", c.ArrivalRate)
+	}
+	if c.CPUSpeeds != nil {
+		if len(c.CPUSpeeds) != c.Nodes {
+			return fmt.Errorf("server: %d CPU speeds for %d nodes", len(c.CPUSpeeds), c.Nodes)
+		}
+		for i, s := range c.CPUSpeeds {
+			if s <= 0 {
+				return fmt.Errorf("server: node %d has non-positive CPU speed %v", i, s)
+			}
+		}
+	}
+	return nil
+}
+
+// Result reports what one run measured (all statistics cover only the
+// post-warm-up measurement interval).
+type Result struct {
+	System string
+	Nodes  int
+
+	Throughput float64 // completed requests per second
+	Completed  uint64
+	Aborted    uint64 // requests lost to crashed nodes
+
+	MissRate      float64 // aggregate cache miss rate at the service nodes
+	ForwardedFrac float64 // fraction of requests serviced away from their initial node
+
+	MeanCPUUtil    float64
+	CPUIdle        float64 // 1 - MeanCPUUtil, the paper's idle-time metric
+	PerNodeCPUUtil []float64
+	RouterUtil     float64
+	MeanDiskUtil   float64
+	MeanLoad       float64 // time-averaged open connections per node
+
+	// LoadImbalance is the peak-to-mean ratio of per-node time-averaged
+	// loads: 1.0 is perfect balance.
+	LoadImbalance float64
+
+	// Response-time statistics over the measurement interval, in seconds.
+	LatencyMean float64
+	LatencyP50  float64
+	LatencyP99  float64
+
+	// Persistent-connection statistics (Persistent mode only).
+	Connections uint64  // connections completed
+	ReqsPerConn float64 // measured requests per connection
+
+	ControlMessages uint64  // intra-cluster messages (hand-offs + gossip)
+	SimTime         float64 // simulated seconds measured
+	Events          uint64  // events the engine fired
+
+	// Timeline holds completions per second for consecutive buckets of
+	// TimelineBucket simulated seconds (empty unless configured).
+	Timeline       []float64
+	TimelineBucket float64
+
+	L2S *core.Stats // control-plane stats when System == L2SServer
+}

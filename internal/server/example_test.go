@@ -1,0 +1,33 @@
+package server_test
+
+import (
+	"fmt"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// Simulate an L2S cluster over a synthetic workload and read off the
+// Section 5 metrics.
+func ExampleRun() {
+	workload := trace.MustGenerate(trace.GenSpec{
+		Name: "example", Files: 400, AvgFileKB: 20, Requests: 20000,
+		AvgReqKB: 12, Alpha: 0.9, Seed: 1,
+	})
+
+	cfg := server.DefaultConfig(server.L2SServer, 4)
+	result, err := server.Run(cfg, workload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("system: %s on %d nodes\n", result.System, result.Nodes)
+	fmt.Printf("measured the post-warm-up 60%% of the trace: %v\n",
+		result.Completed >= 12000 && result.Aborted == 0)
+	fmt.Printf("forwarded some requests: %v\n", result.ForwardedFrac > 0)
+	fmt.Printf("cache misses below 10%%: %v\n", result.MissRate < 0.10)
+	// Output:
+	// system: l2s on 4 nodes
+	// measured the post-warm-up 60% of the trace: true
+	// forwarded some requests: true
+	// cache misses below 10%: true
+}

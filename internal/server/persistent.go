@@ -1,0 +1,238 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"repro/internal/cluster"
+
+	"repro/internal/cache"
+	"repro/internal/policy"
+)
+
+// Persistent-connection (HTTP/1.1) support. Section 4 of the paper notes
+// that L2S and LARD handle persistent connections "by slightly modifying
+// the algorithms" along the lines of Aron et al.: a connection stays bound
+// to the node that accepted its first request (the owner), and requests
+// whose content is cached elsewhere are served by back-end forwarding —
+// the caching node reads the file and ships it across the cluster network
+// to the owner, which transmits it to the client. The client-facing
+// connection never moves, so hand-off happens once per connection at most,
+// while content locality is preserved per request at the cost of an
+// internal data transfer.
+
+// geometricLength draws a connection length with the given mean (at least
+// 1 request).
+func geometricLength(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := rng.Float64()
+	k := 1 + int(math.Floor(math.Log(1-u)/math.Log(1-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// injectConnection starts the next connection: a geometric run of
+// consecutive trace requests riding one client connection.
+func (d *driver) injectConnection() {
+	count := geometricLength(d.connRNG, d.cfg.ReqsPerConn)
+	if rest := d.tr.NumRequests() - d.next; count > rest {
+		count = rest
+	}
+	first := d.next
+	d.next += count
+	d.inflight++
+	d.startConnection(first, count)
+}
+
+// startConnection establishes the connection at its initial node, binds it
+// to an owner via the first request's distribution decision, then serves
+// the requests in order.
+func (d *driver) startConnection(first, count int) {
+	f0 := d.tr.Requests[first]
+	if ca, ok := d.dist.(policy.ClientAware); ok {
+		ca.SetNextClient(d.tr.Client(first))
+	}
+	n0 := d.dist.Initial(f0)
+
+	d.net.RouterIn(d.cfg.Costs.ReqKB, func() {
+		node0 := d.nodes[n0]
+		if node0.Failed() {
+			d.abortConnectionUnassigned()
+			return
+		}
+		node0.NIIn.Acquire(d.niIn, func() {
+			cpuCost := d.parse
+			if n0 == d.dist.FrontEnd() {
+				cpuCost = d.cfg.FECostSec
+			}
+			node0.CPU.Acquire(d.cpu(n0, cpuCost), func() {
+				owner := d.dist.Service(n0, f0)
+				d.nodes[owner].AddConnection()
+				d.dist.OnAssign(owner)
+				if owner == n0 {
+					d.serveConnRequest(owner, first, count, 0, true)
+					return
+				}
+				// Hand the whole connection off once.
+				fwdCost := d.fwd
+				if n0 == d.dist.FrontEnd() {
+					fwdCost = 0
+				}
+				node0.CPU.Acquire(d.cpu(n0, fwdCost), func() {
+					d.net.Send(node0, d.nodes[owner], d.cfg.Costs.ReqKB, func() {
+						d.serveConnRequest(owner, first, count, 0, true)
+					})
+				})
+			})
+		})
+	})
+}
+
+// serveConnRequest serves request number i of the connection at the owner
+// node, then recurses to the next request or closes the connection.
+// handedOff marks whether the connection itself was handed off (counted
+// once as a forward).
+func (d *driver) serveConnRequest(owner, first, count, i int, firstCall bool) {
+	if i >= count {
+		d.closeConnection(owner, first, count)
+		return
+	}
+	idx := first + i
+	f := d.tr.Requests[idx]
+	node := d.nodes[owner]
+	if node.Failed() {
+		d.abortConnectionAssigned(owner, f)
+		return
+	}
+	skb := float64(d.tr.Size(f)) / 1024
+	t0 := d.eng.Now()
+	d.assigned++
+
+	next := func() {
+		d.completed++
+		d.lastDone = d.eng.Now()
+		if d.measuring {
+			d.latency.Add(d.eng.Now() - t0)
+			d.recordTimeline()
+		}
+		d.serveConnRequest(owner, first, count, i+1, false)
+	}
+
+	// Each request arrives from the client over the persistent connection
+	// and is parsed at the owner. The first request was already parsed
+	// during establishment.
+	arrive := func(then func()) {
+		if firstCall && i == 0 {
+			then()
+			return
+		}
+		d.net.RouterIn(d.cfg.Costs.ReqKB, func() {
+			node.NIIn.Acquire(d.niIn, func() {
+				node.CPU.Acquire(d.cpu(owner, d.parse), then)
+			})
+		})
+	}
+
+	arrive(func() {
+		svc := d.dist.Service(owner, f)
+		if svc == owner || !d.env().Alive(svc) {
+			d.serveLocallyOnConn(node, f, skb, next)
+			return
+		}
+		// Back-end forwarding: the caching node reads the file and ships
+		// it to the owner, which transmits it to the client.
+		d.forwarded++
+		node.CPU.Acquire(d.cpu(owner, d.fwd), func() {
+			d.net.Send(node, d.nodes[svc], d.cfg.Costs.ReqKB, func() {
+				d.remoteRead(svc, f, skb, func() {
+					// Data crosses the cluster network: sender NI-out and
+					// wire time scale with the file, receiver pays NI-in.
+					remote := d.nodes[svc]
+					remote.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+						wire := d.cfg.Net.SwitchLatency + skb/d.cfg.Net.LinkKBps
+						d.eng.Schedule(wire, func() {
+							node.NIIn.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+								d.transmit(node, skb, func() {
+									node.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+										d.net.RouterOut(skb, next)
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// serveLocallyOnConn is the local service path of a persistent-connection
+// request: cache, disk on miss, transmit, NI out, router out.
+func (d *driver) serveLocallyOnConn(node nodeRef, f cache.FileID, skb float64, next func()) {
+	hit := node.Cache.Access(f, d.tr.Size(f))
+	finish := func() {
+		d.transmit(node, skb, func() {
+			node.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+				d.net.RouterOut(skb, next)
+			})
+		})
+	}
+	if hit {
+		finish()
+	} else {
+		d.fetch(node.ID, f, skb, finish)
+	}
+}
+
+// remoteRead fetches the file into the remote node's cache (disk on miss)
+// and charges a small CPU cost for the read-and-ship work.
+func (d *driver) remoteRead(svc int, f cache.FileID, skb float64, done func()) {
+	remote := d.nodes[svc]
+	hit := remote.Cache.Access(f, d.tr.Size(f))
+	then := func() {
+		remote.CPU.Acquire(d.cfg.Net.MsgCPU, done)
+	}
+	if hit {
+		then()
+	} else {
+		d.fetch(svc, f, skb, then)
+	}
+}
+
+func (d *driver) closeConnection(owner, first, count int) {
+	d.nodes[owner].RemoveConnection()
+	d.dist.OnComplete(owner, d.tr.Requests[first])
+	d.inflight--
+	d.connections++
+	d.connReqs += uint64(count)
+	if !d.openLoop {
+		d.inject()
+	}
+}
+
+func (d *driver) abortConnectionUnassigned() {
+	d.inflight--
+	d.aborted++
+	if !d.openLoop {
+		d.inject()
+	}
+}
+
+func (d *driver) abortConnectionAssigned(owner int, f cache.FileID) {
+	d.nodes[owner].RemoveConnection()
+	d.dist.OnComplete(owner, f)
+	d.inflight--
+	d.aborted++
+	if !d.openLoop {
+		d.inject()
+	}
+}
+
+// nodeRef aliases the node type for the local service helper.
+type nodeRef = *cluster.Node
+
+func (d *driver) env() policy.Env { return d }

@@ -1,0 +1,529 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// driver wires the cluster model, network, and distribution policy
+// together and implements policy.Env.
+type driver struct {
+	cfg   Config
+	eng   *sim.Engine
+	tr    *trace.Trace
+	nodes []*cluster.Node
+	net   *netsim.Network
+	dist  policy.Distributor
+
+	// Precomputed per-operation costs.
+	niIn, parse, fwd float64
+
+	next     int // next trace request to inject
+	inflight int
+	warmIdx  int
+	failIdx  int
+
+	measuring bool
+	measStart float64
+	lastDone  float64
+
+	completed uint64
+	aborted   uint64
+	assigned  uint64
+	forwarded uint64
+
+	latency *stats.Histogram
+
+	// Persistent-connection state.
+	connRNG     *rand.Rand
+	connections uint64
+	connReqs    uint64
+
+	// Open-loop arrival state.
+	openLoop   bool
+	arrivalRNG *rand.Rand
+
+	// Timeline buckets (completions per TimelineBucket interval).
+	buckets []uint64
+}
+
+// Run simulates one configuration over a trace and reports the measured
+// results.
+func Run(cfg Config, tr *trace.Trace) (Result, error) {
+	if cfg.Persistent && cfg.ReqsPerConn == 0 {
+		cfg.ReqsPerConn = 7
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := tr.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.MaxRequests > 0 {
+		tr = tr.Truncate(cfg.MaxRequests)
+	}
+	if tr.NumRequests() == 0 {
+		return Result{}, fmt.Errorf("server: empty trace")
+	}
+
+	d := &driver{
+		cfg:     cfg,
+		eng:     sim.NewEngine(),
+		tr:      tr,
+		net:     nil,
+		niIn:    cfg.Costs.NIInTime(),
+		parse:   cfg.Costs.ParseTime(),
+		fwd:     cfg.Costs.ForwardTime(),
+		latency: stats.NewHistogram(),
+	}
+	if cfg.Persistent {
+		d.connRNG = rand.New(rand.NewSource(cfg.PersistSeed + 1))
+	}
+	d.net = netsim.New(d.eng, cfg.Net)
+	d.nodes = make([]*cluster.Node, cfg.Nodes)
+	for i := range d.nodes {
+		d.nodes[i] = cluster.NewNode(d.eng, i, cfg.CacheBytes)
+	}
+
+	switch cfg.System {
+	case Traditional:
+		d.dist = policy.NewFewestConnections(d)
+	case LARDServer:
+		d.dist = policy.NewLARD(d, cfg.LARD)
+	case LARDDispatcher:
+		d.dist = policy.NewDispatchLARD(d, cfg.LARD, cfg.DispatchQuerySec)
+	case L2SServer:
+		d.dist = core.New(d, cfg.L2S)
+	case CustomServer:
+		d.dist = cfg.CustomPolicy(d)
+	default:
+		return Result{}, fmt.Errorf("server: unknown system %v", cfg.System)
+	}
+
+	d.warmIdx = int(cfg.WarmFraction * float64(tr.NumRequests()))
+	d.failIdx = -1
+	if cfg.FailNode >= 0 {
+		d.failIdx = int(cfg.FailAtFrac * float64(tr.NumRequests()))
+	}
+	if d.warmIdx == 0 {
+		d.beginMeasurement()
+	}
+
+	if cfg.ArrivalRate > 0 {
+		// Open loop: Poisson arrivals at the offered rate, independent of
+		// completions.
+		d.openLoop = true
+		d.arrivalRNG = rand.New(rand.NewSource(cfg.ArrivalSeed + 7))
+		d.scheduleArrival()
+	} else {
+		// Closed loop at saturation: prime the connection window; every
+		// completion injects the next request.
+		window := cfg.WindowPerNode * cfg.Nodes
+		for i := 0; i < window && d.next < tr.NumRequests(); i++ {
+			d.inject()
+		}
+	}
+	d.eng.Run()
+
+	return d.result(), nil
+}
+
+// scheduleArrival plants the next open-loop Poisson arrival.
+func (d *driver) scheduleArrival() {
+	if d.next >= d.tr.NumRequests() {
+		return
+	}
+	gap := d.arrivalRNG.ExpFloat64() / d.cfg.ArrivalRate
+	d.eng.Schedule(gap, func() {
+		d.inject()
+		d.scheduleArrival()
+	})
+}
+
+// inject starts the next trace request (or, in persistent mode, the next
+// connection worth of requests), if any remain.
+func (d *driver) inject() {
+	if d.next >= d.tr.NumRequests() {
+		return
+	}
+	if d.next >= d.warmIdx && !d.measuring {
+		d.beginMeasurement()
+	}
+	if d.failIdx >= 0 && d.next >= d.failIdx && d.cfg.FailNode >= 0 &&
+		!d.nodes[d.cfg.FailNode].Failed() {
+		d.nodes[d.cfg.FailNode].Fail()
+	}
+	if d.cfg.Persistent {
+		d.injectConnection()
+		return
+	}
+	idx := d.next
+	d.next++
+	d.start(idx)
+}
+
+func (d *driver) beginMeasurement() {
+	d.measuring = true
+	d.measStart = d.eng.Now()
+	d.lastDone = d.eng.Now()
+	for _, n := range d.nodes {
+		n.ResetStats()
+	}
+	d.net.ResetStats()
+	d.completed, d.aborted, d.assigned, d.forwarded = 0, 0, 0, 0
+	d.connections, d.connReqs = 0, 0
+	d.latency = stats.NewHistogram()
+	d.buckets = nil
+}
+
+// start runs the connection lifecycle: router in, initial node NI and CPU,
+// distribution decision, optional hand-off, service, reply out.
+func (d *driver) start(idx int) {
+	d.inflight++
+	f := d.tr.Requests[idx]
+	if ca, ok := d.dist.(policy.ClientAware); ok {
+		ca.SetNextClient(d.tr.Client(idx))
+	}
+	n0 := d.dist.Initial(f)
+	skb := float64(d.tr.Size(f)) / 1024
+	t0 := d.eng.Now()
+
+	d.net.RouterIn(d.cfg.Costs.ReqKB, func() {
+		node0 := d.nodes[n0]
+		if node0.Failed() {
+			d.abortUnassigned()
+			return
+		}
+		node0.NIIn.Acquire(d.niIn, func() {
+			cpuCost := d.parse
+			if n0 == d.dist.FrontEnd() {
+				// The front-end's accept+parse+hand-off budget.
+				cpuCost = d.cfg.FECostSec
+			}
+			node0.CPU.Acquire(d.cpu(n0, cpuCost), func() {
+				d.consultDispatcher(n0, func() {
+					svc := d.dist.Service(n0, f)
+					d.nodes[svc].AddConnection()
+					d.dist.OnAssign(svc)
+					d.assigned++
+					if svc == n0 {
+						d.serve(svc, f, skb, t0)
+						return
+					}
+					d.forwarded++
+					fwdCost := d.fwd
+					if n0 == d.dist.FrontEnd() {
+						fwdCost = 0 // already inside the front-end budget
+					}
+					node0.CPU.Acquire(d.cpu(n0, fwdCost), func() {
+						d.net.Send(node0, d.nodes[svc], d.cfg.Costs.ReqKB, func() {
+							d.serve(svc, f, skb, t0)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// consultDispatcher charges the decision query of a Dispatched policy (a
+// message round trip to the dispatcher plus its per-query CPU), then calls
+// decide. Policies without a dispatcher decide immediately.
+func (d *driver) consultDispatcher(n0 int, decide func()) {
+	dp, ok := d.dist.(policy.Dispatched)
+	if !ok {
+		decide()
+		return
+	}
+	disp, cpuSec := dp.Dispatcher()
+	if disp < 0 || disp == n0 || d.nodes[disp].Failed() {
+		if disp >= 0 && disp != n0 {
+			// Dispatcher down: the whole scheme stalls, like LARD's
+			// front-end; abort the request.
+			d.abortUnassigned()
+			return
+		}
+		decide()
+		return
+	}
+	node0 := d.nodes[n0]
+	d.net.Send(node0, d.nodes[disp], d.cfg.Costs.ReqKB, func() {
+		d.nodes[disp].CPU.Acquire(d.cpu(disp, cpuSec), func() {
+			d.net.Send(d.nodes[disp], node0, d.cfg.Costs.ReqKB, func() {
+				decide()
+			})
+		})
+	})
+}
+
+// serve runs the request at its service node: cache lookup, disk on a
+// miss, reply processing on the CPU, NI out, router out.
+func (d *driver) serve(n int, f cache.FileID, skb float64, t0 float64) {
+	node := d.nodes[n]
+	if node.Failed() {
+		d.abortAssigned(n, f)
+		return
+	}
+	hit := node.Cache.Access(f, d.tr.Size(f))
+	finish := func() {
+		d.transmit(node, skb, func() {
+			node.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+				d.net.RouterOut(skb, func() {
+					d.complete(n, f, t0)
+				})
+			})
+		})
+	}
+	if hit {
+		finish()
+	} else {
+		d.fetch(n, f, skb, finish)
+	}
+}
+
+// fetch brings a missed file into node n: from its local disk, or — with
+// an explicit distributed file system — from the file's home disk across
+// the cluster network.
+func (d *driver) fetch(n int, f cache.FileID, skb float64, done func()) {
+	node := d.nodes[n]
+	if !d.cfg.DistributedFS {
+		node.Disk.Acquire(d.cfg.Costs.DiskTime(skb), done)
+		return
+	}
+	home := fileHome(f, len(d.nodes))
+	if home == n || d.nodes[home].Failed() {
+		node.Disk.Acquire(d.cfg.Costs.DiskTime(skb), done)
+		return
+	}
+	remote := d.nodes[home]
+	// Small read request to the home node, the disk read there, then the
+	// data crosses the cluster network (size-dependent NI and wire time).
+	d.net.Send(node, remote, d.cfg.Costs.ReqKB, func() {
+		remote.Disk.Acquire(d.cfg.Costs.DiskTime(skb), func() {
+			remote.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+				wire := d.cfg.Net.SwitchLatency + skb/d.cfg.Net.LinkKBps
+				d.eng.Schedule(wire, func() {
+					node.NIIn.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+						node.CPU.Acquire(d.cfg.Net.MsgCPU, done)
+					})
+				})
+			})
+		})
+	})
+}
+
+// cpu scales a CPU cost by node n's relative speed.
+func (d *driver) cpu(n int, base float64) float64 {
+	if d.cfg.CPUSpeeds == nil {
+		return base
+	}
+	return base / d.cfg.CPUSpeeds[n]
+}
+
+// fileHome spreads files over the cluster's disks (splitmix64 finalizer).
+func fileHome(f cache.FileID, n int) int {
+	x := uint64(f) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// transmit charges the CPU for reply transmit processing (mu_m) in
+// CPUChunkKB quanta. Each chunk re-enters the FCFS CPU queue, so concurrent
+// transmissions and request parsing interleave at chunk granularity — the
+// behavior implied by the per-512-byte transmit cost of the LARD paper the
+// parameters come from.
+func (d *driver) transmit(node *cluster.Node, skb float64, done func()) {
+	chunk := d.cfg.CPUChunkKB
+	if chunk <= 0 {
+		chunk = 8
+	}
+	// Fixed per-reply cost up front, then the per-byte portion in chunks.
+	remaining := skb
+	var next func()
+	first := true
+	next = func() {
+		if remaining <= 0 {
+			done()
+			return
+		}
+		kb := chunk
+		if kb > remaining {
+			kb = remaining
+		}
+		remaining -= kb
+		cost := kb / d.cfg.Costs.ReplyKBps
+		if first {
+			cost += d.cfg.Costs.ReplyFixed
+			first = false
+		}
+		node.CPU.Acquire(d.cpu(node.ID, cost), next)
+	}
+	next()
+}
+
+func (d *driver) complete(n int, f cache.FileID, t0 float64) {
+	d.nodes[n].RemoveConnection()
+	d.dist.OnComplete(n, f)
+	d.inflight--
+	d.completed++
+	d.lastDone = d.eng.Now()
+	if d.measuring {
+		d.latency.Add(d.eng.Now() - t0)
+		d.recordTimeline()
+	}
+	if !d.openLoop {
+		d.inject()
+	}
+}
+
+// recordTimeline counts this completion in its timeline bucket.
+func (d *driver) recordTimeline() {
+	w := d.cfg.TimelineBucket
+	if w <= 0 {
+		return
+	}
+	idx := int((d.eng.Now() - d.measStart) / w)
+	for len(d.buckets) <= idx {
+		d.buckets = append(d.buckets, 0)
+	}
+	d.buckets[idx]++
+}
+
+// abortUnassigned drops a request that died before a service node was
+// chosen (e.g. it arrived at a crashed node).
+func (d *driver) abortUnassigned() {
+	d.inflight--
+	d.aborted++
+	if !d.openLoop {
+		d.inject()
+	}
+}
+
+// abortAssigned drops a request whose service node crashed after
+// assignment.
+func (d *driver) abortAssigned(n int, f cache.FileID) {
+	d.nodes[n].RemoveConnection()
+	d.dist.OnComplete(n, f)
+	d.inflight--
+	d.aborted++
+	if !d.openLoop {
+		d.inject()
+	}
+}
+
+func (d *driver) result() Result {
+	elapsed := d.lastDone - d.measStart
+	r := Result{
+		System:          d.dist.Name(),
+		Nodes:           d.cfg.Nodes,
+		Completed:       d.completed,
+		Aborted:         d.aborted,
+		ControlMessages: d.net.Messages(),
+		SimTime:         elapsed,
+		Events:          d.eng.Fired(),
+	}
+	if elapsed > 0 {
+		r.Throughput = float64(d.completed) / elapsed
+	}
+	if d.assigned > 0 {
+		r.ForwardedFrac = float64(d.forwarded) / float64(d.assigned)
+	}
+
+	var hits, total uint64
+	var cpu, disk, load float64
+	r.PerNodeCPUUtil = make([]float64, len(d.nodes))
+	for i, n := range d.nodes {
+		s := n.Cache.Stats()
+		hits += s.Hits
+		total += s.Total
+		r.PerNodeCPUUtil[i] = n.CPU.Utilization()
+		cpu += r.PerNodeCPUUtil[i]
+		disk += n.Disk.Utilization()
+		load += n.MeanLoad()
+	}
+	if total > 0 {
+		r.MissRate = 1 - float64(hits)/float64(total)
+	}
+	n := float64(len(d.nodes))
+	r.MeanCPUUtil = cpu / n
+	r.CPUIdle = 1 - r.MeanCPUUtil
+	r.MeanDiskUtil = disk / n
+	r.MeanLoad = load / n
+	r.RouterUtil = d.net.Router.Utilization()
+
+	var peakLoad float64
+	for _, node := range d.nodes {
+		if m := node.MeanLoad(); m > peakLoad {
+			peakLoad = m
+		}
+	}
+	if r.MeanLoad > 0 {
+		r.LoadImbalance = peakLoad / r.MeanLoad
+	}
+
+	r.LatencyMean = d.latency.Mean()
+	r.LatencyP50 = d.latency.Quantile(0.5)
+	r.LatencyP99 = d.latency.Quantile(0.99)
+
+	r.Connections = d.connections
+	if d.connections > 0 {
+		r.ReqsPerConn = float64(d.connReqs) / float64(d.connections)
+	}
+
+	if w := d.cfg.TimelineBucket; w > 0 {
+		r.TimelineBucket = w
+		r.Timeline = make([]float64, len(d.buckets))
+		for i, c := range d.buckets {
+			r.Timeline[i] = float64(c) / w
+		}
+	}
+
+	if l2s, ok := d.dist.(*core.L2S); ok {
+		s := l2s.Stats()
+		r.L2S = &s
+	}
+	return r
+}
+
+// policy.Env implementation.
+
+// N implements policy.Env.
+func (d *driver) N() int { return d.cfg.Nodes }
+
+// Now implements policy.Env.
+func (d *driver) Now() float64 { return d.eng.Now() }
+
+// Load implements policy.Env.
+func (d *driver) Load(n int) int { return d.nodes[n].Load() }
+
+// Alive implements policy.Env.
+func (d *driver) Alive(n int) bool { return !d.nodes[n].Failed() }
+
+// SendControl implements policy.Env: a 4-byte control message.
+func (d *driver) SendControl(from, to int, onDeliver func()) {
+	if d.nodes[from].Failed() || d.nodes[to].Failed() {
+		return
+	}
+	d.net.Send(d.nodes[from], d.nodes[to], 0.004, onDeliver)
+}
+
+// BroadcastControl implements policy.Env.
+func (d *driver) BroadcastControl(from int, onDeliver func()) {
+	if d.nodes[from].Failed() {
+		return
+	}
+	d.net.Broadcast(d.nodes[from], d.nodes, 0.004, onDeliver)
+}
+
+var _ policy.Env = (*driver)(nil)

@@ -1,0 +1,168 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate under the trace-driven cluster simulator of
+// Section 5 of the paper: it owns the virtual clock, an event calendar
+// ordered by (time, insertion sequence), and first-come-first-served
+// resources with exact queueing and utilization accounting.
+//
+// The engine is single-threaded by design. Simulations of queueing systems
+// need a total order over events to be reproducible, so all model code runs
+// on the goroutine that calls Run, and two events scheduled for the same
+// instant fire in the order they were scheduled.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time = float64
+
+// Event is a scheduled callback. It can be cancelled until it fires.
+type Event struct {
+	when   Time
+	seq    uint64
+	fn     func()
+	index  int // position in the heap, -1 once removed
+	cancel bool
+}
+
+// When returns the simulated time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator: a clock plus an event calendar.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty calendar.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have fired so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but have not fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay units of simulated time. A negative delay is
+// an error in the model; it panics rather than silently reordering history.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("sim: schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulated time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step fires the next event. It reports false when the calendar is empty.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancel {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps at or before t, then advances the
+// clock to t. Events scheduled for later instants remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.when > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// RunLimit fires at most n events; it reports how many actually fired.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	var fired uint64
+	for fired < n && e.Step() {
+		fired++
+	}
+	return fired
+}
+
+func (e *Engine) peek() *Event {
+	for len(e.events) > 0 {
+		if e.events[0].cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package sim
+
+import "fmt"
+
+// Resource is a first-come-first-served service center with one or more
+// identical servers and an unbounded queue, the building block for the
+// M/M/1-style service centers of the paper's Figure 2 (CPU, disk, network
+// interfaces, router).
+//
+// Acquire is non-blocking: it enqueues a job with a known service demand and
+// invokes the completion callback when the job finishes. Because service is
+// FCFS and demands are known at arrival, the resource tracks only the time
+// each server next becomes free, which is both exact and allocation-light.
+type Resource struct {
+	eng  *Engine
+	name string
+
+	free []Time // next-free time per server, kept as a sorted-min loop (k is tiny)
+
+	// Statistics.
+	busy      Time    // total service time accrued (per-server seconds)
+	completed uint64  // jobs completed
+	inSystem  int     // jobs queued or in service
+	maxQueue  int     // high-water mark of inSystem
+	areaQ     float64 // integral of inSystem over time, for mean jobs-in-system
+	lastT     Time    // last time areaQ was updated
+	epoch     Time    // start of the current measurement interval
+}
+
+// NewResource returns a FCFS resource with the given number of identical
+// servers (usually 1).
+func NewResource(eng *Engine, name string, servers int) *Resource {
+	if servers < 1 {
+		panic(fmt.Sprintf("sim: resource %q needs at least one server", name))
+	}
+	return &Resource{eng: eng, name: name, free: make([]Time, servers)}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Acquire enqueues a job that needs service seconds of work and calls done
+// (if non-nil) when the job completes. It returns the completion time.
+func (r *Resource) Acquire(service Time, done func()) Time {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: resource %q acquire with negative service %v", r.name, service))
+	}
+	now := r.eng.Now()
+	r.accumulate(now)
+	r.inSystem++
+	if r.inSystem > r.maxQueue {
+		r.maxQueue = r.inSystem
+	}
+
+	// Pick the server that frees up first.
+	best := 0
+	for i := 1; i < len(r.free); i++ {
+		if r.free[i] < r.free[best] {
+			best = i
+		}
+	}
+	start := r.free[best]
+	if start < now {
+		start = now
+	}
+	finish := start + service
+	r.free[best] = finish
+	r.busy += service
+
+	r.eng.At(finish, func() {
+		r.accumulate(r.eng.Now())
+		r.inSystem--
+		r.completed++
+		if done != nil {
+			done()
+		}
+	})
+	return finish
+}
+
+func (r *Resource) accumulate(now Time) {
+	if now > r.lastT {
+		r.areaQ += float64(r.inSystem) * (now - r.lastT)
+		r.lastT = now
+	}
+}
+
+// Utilization returns the fraction of capacity used over [0, now]: accrued
+// service time divided by elapsed time times the number of servers.
+func (r *Resource) Utilization() float64 {
+	elapsed := r.eng.Now() - r.epoch
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.busy) / (float64(elapsed) * float64(len(r.free)))
+}
+
+// BusyTime returns the total service time accrued across all servers.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Completed returns the number of jobs that finished service.
+func (r *Resource) Completed() uint64 { return r.completed }
+
+// InSystem returns the number of jobs queued or in service right now.
+func (r *Resource) InSystem() int { return r.inSystem }
+
+// MaxInSystem returns the high-water mark of jobs queued or in service.
+func (r *Resource) MaxInSystem() int { return r.maxQueue }
+
+// MeanInSystem returns the time-average number of jobs in the resource.
+func (r *Resource) MeanInSystem() float64 {
+	now := r.eng.Now()
+	elapsed := now - r.epoch
+	if elapsed <= 0 {
+		return 0
+	}
+	area := r.areaQ + float64(r.inSystem)*float64(now-r.lastT)
+	return area / float64(elapsed)
+}
+
+// ResetStats zeroes the counters while preserving in-flight work, so that a
+// measurement interval can start after cache warm-up.
+func (r *Resource) ResetStats() {
+	now := r.eng.Now()
+	r.accumulate(now)
+	// Busy time already committed for queued jobs extends past now; keep the
+	// portion that lies in the future so utilization stays exact.
+	var future Time
+	for _, f := range r.free {
+		if f > now {
+			future += f - now
+		}
+	}
+	r.busy = future
+	r.completed = 0
+	r.maxQueue = r.inSystem
+	r.areaQ = 0
+	r.lastT = now
+	r.epoch = now
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+)
+
+// ParseCLF reads a WWW server access log in Common Log Format,
+//
+//	host ident user [date] "METHOD /path PROTO" status bytes
+//
+// and reduces it to a Trace the way the paper prepares its traces: only
+// successful, complete GET requests with a known response size are kept
+// ("we eliminated all incomplete requests in the traces"), each distinct
+// path becomes a file, and a file's size is the largest response size seen
+// for it (earlier truncated transfers are dropped by the status filter).
+//
+// Lines that fail to parse are skipped; the returned count reports them.
+func ParseCLF(name string, r io.Reader) (*Trace, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	ids := make(map[string]cache.FileID)
+	var sizes []int64
+	var reqs []cache.FileID
+	skipped := 0
+
+	for sc.Scan() {
+		line := sc.Text()
+		path, status, size, ok := parseCLFLine(line)
+		if !ok || status != 200 || size <= 0 {
+			if line != "" {
+				skipped++
+			}
+			continue
+		}
+		id, seen := ids[path]
+		if !seen {
+			id = cache.FileID(len(sizes))
+			ids[path] = id
+			sizes = append(sizes, size)
+		} else if size > sizes[id] {
+			sizes[id] = size
+		}
+		reqs = append(reqs, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("trace: reading CLF log: %w", err)
+	}
+	if len(reqs) == 0 {
+		return nil, skipped, fmt.Errorf("trace %s: no usable requests in log", name)
+	}
+	t := &Trace{Name: name, Sizes: sizes, Requests: reqs}
+	return t, skipped, t.Validate()
+}
+
+// parseCLFLine extracts the request path, status, and byte count from one
+// CLF line. It tolerates missing ident/user fields and quotes inside the
+// request line by anchoring on the quoted request section.
+func parseCLFLine(line string) (path string, status int, size int64, ok bool) {
+	open := strings.IndexByte(line, '"')
+	if open < 0 {
+		return "", 0, 0, false
+	}
+	close := strings.LastIndexByte(line, '"')
+	if close <= open {
+		return "", 0, 0, false
+	}
+	request := line[open+1 : close]
+	rest := strings.Fields(line[close+1:])
+	if len(rest) < 2 {
+		return "", 0, 0, false
+	}
+	st, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return "", 0, 0, false
+	}
+	if rest[1] == "-" {
+		return "", 0, 0, false
+	}
+	sz, err := strconv.ParseInt(rest[1], 10, 64)
+	if err != nil {
+		return "", 0, 0, false
+	}
+	parts := strings.Fields(request)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return "", 0, 0, false
+	}
+	// Strip query strings: the paper's servers cache static files.
+	p := parts[1]
+	if q := strings.IndexByte(p, '?'); q >= 0 {
+		p = p[:q]
+	}
+	return p, st, sz, true
+}
+
+// NewLogReader wraps r with transparent gzip decompression when the stream
+// starts with the gzip magic — the Internet Traffic Archive distributes the
+// paper's traces gzipped.
+func NewLogReader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Too short to be compressed; hand back what we have.
+		return br, nil
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip log: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleLog = `host1 - - [01/Mar/2000:00:00:01 -0500] "GET /index.html HTTP/1.0" 200 5120
+host2 - - [01/Mar/2000:00:00:02 -0500] "GET /img/logo.gif HTTP/1.0" 200 2048
+host1 - - [01/Mar/2000:00:00:03 -0500] "GET /index.html HTTP/1.0" 200 5120
+host3 - - [01/Mar/2000:00:00:04 -0500] "GET /index.html HTTP/1.0" 304 -
+host3 - - [01/Mar/2000:00:00:05 -0500] "POST /cgi-bin/form HTTP/1.0" 200 100
+host4 - - [01/Mar/2000:00:00:06 -0500] "GET /missing.html HTTP/1.0" 404 230
+garbage line without quotes
+host5 - - [01/Mar/2000:00:00:07 -0500] "GET /big.mpg?quality=hi HTTP/1.0" 200 1048576
+`
+
+func TestParseCLF(t *testing.T) {
+	tr, skipped, err := ParseCLF("sample", strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kept: index.html x2, logo.gif, big.mpg. Skipped: 304, POST, 404, garbage.
+	if tr.NumRequests() != 4 {
+		t.Fatalf("requests = %d, want 4", tr.NumRequests())
+	}
+	if tr.NumFiles() != 3 {
+		t.Fatalf("files = %d, want 3", tr.NumFiles())
+	}
+	if skipped != 4 {
+		t.Fatalf("skipped = %d, want 4", skipped)
+	}
+	// Both index.html requests must map to the same id.
+	if tr.Requests[0] != tr.Requests[2] {
+		t.Fatal("same path must map to the same file id")
+	}
+	if tr.Size(tr.Requests[0]) != 5120 {
+		t.Fatalf("index.html size = %d", tr.Size(tr.Requests[0]))
+	}
+}
+
+func TestParseCLFQueryStringStripped(t *testing.T) {
+	log := `h - - [d] "GET /a?x=1 HTTP/1.0" 200 10
+h - - [d] "GET /a?x=2 HTTP/1.0" 200 10
+`
+	tr, _, err := ParseCLF("q", strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumFiles() != 1 {
+		t.Fatalf("files = %d, want 1 (query strings stripped)", tr.NumFiles())
+	}
+}
+
+func TestParseCLFSizeGrowsToMax(t *testing.T) {
+	log := `h - - [d] "GET /a HTTP/1.0" 200 100
+h - - [d] "GET /a HTTP/1.0" 200 300
+h - - [d] "GET /a HTTP/1.0" 200 200
+`
+	tr, _, err := ParseCLF("m", strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Sizes[0] != 300 {
+		t.Fatalf("size = %d, want the maximum 300", tr.Sizes[0])
+	}
+}
+
+func TestParseCLFEmpty(t *testing.T) {
+	if _, _, err := ParseCLF("empty", strings.NewReader("")); err == nil {
+		t.Fatal("empty log should error")
+	}
+}
+
+func TestParseCLFLineEdgeCases(t *testing.T) {
+	bad := []string{
+		``,
+		`no quotes here 200 100`,
+		`h - - [d] "GET" 200 100`,
+		`h - - [d] "GET /a HTTP/1.0" xyz 100`,
+		`h - - [d] "GET /a HTTP/1.0" 200 abc`,
+		`h - - [d] "GET /a HTTP/1.0"`,
+		`h - - [d] "HEAD /a HTTP/1.0" 200 100`,
+	}
+	for _, line := range bad {
+		if _, _, _, ok := parseCLFLine(line); ok {
+			t.Errorf("parseCLFLine(%q) accepted a bad line", line)
+		}
+	}
+	path, status, size, ok := parseCLFLine(`h - - [d] "GET /a/b.html HTTP/1.1" 200 42`)
+	if !ok || path != "/a/b.html" || status != 200 || size != 42 {
+		t.Fatalf("parse = %q %d %d %v", path, status, size, ok)
+	}
+}
+
+// Property: the parser never panics on arbitrary input lines.
+func TestPropertyParseCLFLineTotal(t *testing.T) {
+	prop := func(line string) bool {
+		parseCLFLine(line) // must not panic
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := MustGenerate(smallSpec())
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Alpha != tr.Alpha {
+		t.Fatalf("header mismatch: %q %v", got.Name, got.Alpha)
+	}
+	if len(got.Sizes) != len(tr.Sizes) || len(got.Requests) != len(tr.Requests) {
+		t.Fatal("length mismatch")
+	}
+	for i := range tr.Sizes {
+		if got.Sizes[i] != tr.Sizes[i] {
+			t.Fatalf("size %d mismatch", i)
+		}
+	}
+	for i := range tr.Requests {
+		if got.Requests[i] != tr.Requests[i] {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace file at all")); err == nil {
+		t.Fatal("garbage should fail to parse")
+	}
+	if _, err := Read(strings.NewReader("L2ST\x09\x00\x00\x00")); err == nil {
+		t.Fatal("bad version should fail")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input should fail")
+	}
+}
+
+func TestNewLogReaderGzip(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(sampleLog))
+	zw.Close()
+	r, err := NewLogReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := ParseCLF("gz", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRequests() != 4 {
+		t.Fatalf("requests = %d, want 4", tr.NumRequests())
+	}
+}
+
+func TestNewLogReaderPlain(t *testing.T) {
+	r, err := NewLogReader(strings.NewReader(sampleLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _, err := ParseCLF("plain", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumRequests() != 4 {
+		t.Fatalf("requests = %d", tr.NumRequests())
+	}
+}
+
+func TestNewLogReaderTiny(t *testing.T) {
+	if _, err := NewLogReader(strings.NewReader("x")); err != nil {
+		t.Fatal(err)
+	}
+}

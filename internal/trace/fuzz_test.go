@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCLFLine: the log-line parser must be total — no panics, and
+// accepted lines must produce sane fields.
+func FuzzParseCLFLine(f *testing.F) {
+	f.Add(`h - - [d] "GET /a HTTP/1.0" 200 42`)
+	f.Add(`h - - [d] "GET /a?q=1 HTTP/1.1" 200 1`)
+	f.Add(`garbage`)
+	f.Add(`"" 200 5`)
+	f.Add(`h "GET" -`)
+	f.Fuzz(func(t *testing.T, line string) {
+		path, status, size, ok := parseCLFLine(line)
+		if !ok {
+			return
+		}
+		if path == "" {
+			t.Fatalf("accepted line %q with empty path", line)
+		}
+		if size <= 0 {
+			t.Fatalf("accepted line %q with size %d", line, size)
+		}
+		if strings.ContainsRune(path, '?') {
+			t.Fatalf("query string survived: %q", path)
+		}
+		_ = status
+	})
+}
+
+// FuzzRead: the binary trace decoder must never panic or accept corrupt
+// data as a valid trace.
+func FuzzRead(f *testing.F) {
+	// Seed with a real serialized trace and some corruptions of it.
+	tr := MustGenerate(GenSpec{
+		Name: "seed", Files: 10, AvgFileKB: 4, Requests: 50, AvgReqKB: 4, Alpha: 1, Seed: 1,
+	})
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("L2ST"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	if len(corrupt) > 20 {
+		corrupt[18] ^= 0xff
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decodes must satisfy the trace invariants.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("decoded an invalid trace: %v", err)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cache"
+)
+
+// Binary trace format, little-endian:
+//
+//	magic   [4]byte  "L2ST"
+//	version uint32   2
+//	alpha   float64
+//	nameLen uint32, name bytes
+//	files   uint32, sizes []int64
+//	reqs    uint32, requests []uint32
+//	clients uint32, client ids []int32   (version >= 2; 0 = none)
+//
+// Version 1 files (without the trailing client section) still load.
+const (
+	traceMagic   = "L2ST"
+	traceVersion = 2
+)
+
+// WriteTo serializes the trace in the package's binary format.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return n, err
+	}
+	n += 4
+	if err := write(uint32(traceVersion)); err != nil {
+		return n, err
+	}
+	if err := write(math.Float64bits(t.Alpha)); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Name))); err != nil {
+		return n, err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return n, err
+	}
+	n += int64(len(t.Name))
+	if err := write(uint32(len(t.Sizes))); err != nil {
+		return n, err
+	}
+	if err := write(t.Sizes); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Requests))); err != nil {
+		return n, err
+	}
+	reqs := make([]uint32, len(t.Requests))
+	for i, r := range t.Requests {
+		reqs[i] = uint32(r)
+	}
+	if err := write(reqs); err != nil {
+		return n, err
+	}
+	if err := write(uint32(len(t.Clients))); err != nil {
+		return n, err
+	}
+	if len(t.Clients) > 0 {
+		if err := write(t.Clients); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a trace written by WriteTo.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version < 1 || version > traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var alphaBits uint64
+	if err := binary.Read(br, binary.LittleEndian, &alphaBits); err != nil {
+		return nil, err
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var files uint32
+	if err := binary.Read(br, binary.LittleEndian, &files); err != nil {
+		return nil, err
+	}
+	if files > 1<<28 {
+		return nil, fmt.Errorf("trace: implausible file count %d", files)
+	}
+	sizes := make([]int64, files)
+	if err := binary.Read(br, binary.LittleEndian, sizes); err != nil {
+		return nil, err
+	}
+	var nreq uint32
+	if err := binary.Read(br, binary.LittleEndian, &nreq); err != nil {
+		return nil, err
+	}
+	if nreq > 1<<30 {
+		return nil, fmt.Errorf("trace: implausible request count %d", nreq)
+	}
+	raw := make([]uint32, nreq)
+	if err := binary.Read(br, binary.LittleEndian, raw); err != nil {
+		return nil, err
+	}
+	reqs := make([]cache.FileID, nreq)
+	for i, v := range raw {
+		reqs[i] = cache.FileID(v)
+	}
+	t := &Trace{
+		Name:     string(name),
+		Alpha:    math.Float64frombits(alphaBits),
+		Sizes:    sizes,
+		Requests: reqs,
+	}
+	if version >= 2 {
+		var nclients uint32
+		if err := binary.Read(br, binary.LittleEndian, &nclients); err != nil {
+			return nil, err
+		}
+		if nclients > 0 {
+			if nclients != nreq {
+				return nil, fmt.Errorf("trace: %d client ids for %d requests", nclients, nreq)
+			}
+			clients := make([]int32, nclients)
+			if err := binary.Read(br, binary.LittleEndian, clients); err != nil {
+				return nil, err
+			}
+			t.Clients = clients
+		}
+	}
+	return t, t.Validate()
+}

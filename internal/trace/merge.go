@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cache"
+)
+
+// Merge combines several traces into one hosting-service workload — the
+// scenario the paper's introduction motivates, where "WWW pages from a
+// large number of renters (individuals or corporations) are managed by the
+// same set of nodes". Catalogs are concatenated (file ids offset so the
+// renters' files stay distinct) and the request streams are interleaved at
+// random, weighted by each trace's length, preserving every stream's
+// internal order (and therefore its temporal locality).
+func Merge(name string, seed int64, traces ...*Trace) (*Trace, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	for _, t := range traces {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: merging %s: %w", t.Name, err)
+		}
+	}
+
+	var totalFiles, totalReqs int
+	hasClients := true
+	for _, t := range traces {
+		totalFiles += t.NumFiles()
+		totalReqs += t.NumRequests()
+		if t.Clients == nil {
+			hasClients = false
+		}
+	}
+
+	out := &Trace{
+		Name:     name,
+		Sizes:    make([]int64, 0, totalFiles),
+		Requests: make([]cache.FileID, 0, totalReqs),
+	}
+	if hasClients {
+		out.Clients = make([]int32, 0, totalReqs)
+	}
+
+	offsets := make([]int, len(traces))         // file-id offset per trace
+	clientOffsets := make([]int32, len(traces)) // client-id offset per trace
+	var fileOff int
+	var clientOff int32
+	for i, t := range traces {
+		offsets[i] = fileOff
+		out.Sizes = append(out.Sizes, t.Sizes...)
+		fileOff += t.NumFiles()
+		clientOffsets[i] = clientOff
+		if hasClients {
+			maxClient := int32(-1)
+			for _, c := range t.Clients {
+				if c > maxClient {
+					maxClient = c
+				}
+			}
+			clientOff += maxClient + 1
+		}
+	}
+
+	// Weighted random interleave preserving per-trace order.
+	rng := rand.New(rand.NewSource(seed))
+	pos := make([]int, len(traces))
+	remaining := totalReqs
+	for remaining > 0 {
+		// Draw a trace proportionally to its remaining requests.
+		pick := rng.Intn(remaining)
+		var src int
+		for i, t := range traces {
+			left := t.NumRequests() - pos[i]
+			if pick < left {
+				src = i
+				break
+			}
+			pick -= left
+		}
+		t := traces[src]
+		i := pos[src]
+		pos[src]++
+		remaining--
+		out.Requests = append(out.Requests, t.Requests[i]+cache.FileID(offsets[src]))
+		if hasClients {
+			out.Clients = append(out.Clients, t.Clients[i]+clientOffsets[src])
+		}
+	}
+	return out, out.Validate()
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestMergeCombinesCatalogsAndStreams(t *testing.T) {
+	a := MustGenerate(GenSpec{Name: "a", Files: 100, AvgFileKB: 20, Requests: 5000, AvgReqKB: 10, Alpha: 1, Seed: 1})
+	b := MustGenerate(GenSpec{Name: "b", Files: 50, AvgFileKB: 40, Requests: 2500, AvgReqKB: 30, Alpha: 0.8, Seed: 2})
+	m, err := Merge("hosting", 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFiles() != 150 {
+		t.Fatalf("files = %d, want 150", m.NumFiles())
+	}
+	if m.NumRequests() != 7500 {
+		t.Fatalf("requests = %d, want 7500", m.NumRequests())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Requests from b must reference the offset catalog: sizes preserved.
+	for i, sz := range b.Sizes {
+		if m.Sizes[100+i] != sz {
+			t.Fatalf("catalog offset broken at %d", i)
+		}
+	}
+}
+
+func TestMergePreservesPerTraceOrder(t *testing.T) {
+	a := MustGenerate(GenSpec{Name: "a", Files: 10, AvgFileKB: 5, Requests: 300, AvgReqKB: 5, Alpha: 1, Seed: 3})
+	b := MustGenerate(GenSpec{Name: "b", Files: 10, AvgFileKB: 5, Requests: 300, AvgReqKB: 5, Alpha: 1, Seed: 4})
+	m, err := Merge("m", 7, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the subsequence belonging to each source and compare.
+	var gotA, gotB []int32
+	for _, f := range m.Requests {
+		if int(f) < 10 {
+			gotA = append(gotA, int32(f))
+		} else {
+			gotB = append(gotB, int32(f)-10)
+		}
+	}
+	if len(gotA) != 300 || len(gotB) != 300 {
+		t.Fatalf("split %d/%d, want 300/300", len(gotA), len(gotB))
+	}
+	for i := range gotA {
+		if gotA[i] != int32(a.Requests[i]) {
+			t.Fatal("trace a's order not preserved")
+		}
+		if gotB[i] != int32(b.Requests[i]) {
+			t.Fatal("trace b's order not preserved")
+		}
+	}
+}
+
+func TestMergeClients(t *testing.T) {
+	a := MustGenerate(GenSpec{Name: "a", Files: 10, AvgFileKB: 5, Requests: 200, AvgReqKB: 5, Alpha: 1, Clients: 5, Seed: 5})
+	b := MustGenerate(GenSpec{Name: "b", Files: 10, AvgFileKB: 5, Requests: 200, AvgReqKB: 5, Alpha: 1, Clients: 5, Seed: 6})
+	m, err := Merge("m", 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Clients == nil {
+		t.Fatal("clients lost in merge")
+	}
+	// Client ids from b are offset past a's: no collisions.
+	seenHigh := false
+	for i, f := range m.Requests {
+		c := m.Clients[i]
+		if int(f) >= 10 && c < 5 {
+			t.Fatal("client collision across renters")
+		}
+		if c >= 5 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("no offset clients observed")
+	}
+	// If any input lacks clients, the merge drops them.
+	c := MustGenerate(GenSpec{Name: "c", Files: 10, AvgFileKB: 5, Requests: 100, AvgReqKB: 5, Alpha: 1, Seed: 7})
+	m2, err := Merge("m2", 1, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Clients != nil {
+		t.Fatal("partial client info must not survive a merge")
+	}
+}
+
+func TestMergeDeterministic(t *testing.T) {
+	a := MustGenerate(GenSpec{Name: "a", Files: 10, AvgFileKB: 5, Requests: 500, AvgReqKB: 5, Alpha: 1, Seed: 1})
+	m1, _ := Merge("m", 42, a, a)
+	m2, _ := Merge("m", 42, a, a)
+	for i := range m1.Requests {
+		if m1.Requests[i] != m2.Requests[i] {
+			t.Fatal("merge not deterministic")
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge("x", 1); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	invalid := &Trace{Name: "bad", Sizes: []int64{0}, Requests: nil}
+	if _, err := Merge("x", 1, invalid); err == nil {
+		t.Fatal("invalid input accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package zipf_test
+
+import (
+	"fmt"
+
+	"repro/internal/zipf"
+)
+
+// z(n, F): how much of the request stream the n most popular files absorb.
+func ExampleZ() {
+	// With alpha=1 and a 10,000-file site, the top 100 files carry over
+	// half the requests.
+	fmt.Printf("top 1%%: %.0f%% of requests\n", zipf.Z(1, 100, 10000)*100)
+	fmt.Printf("top 10%%: %.0f%% of requests\n", zipf.Z(1, 1000, 10000)*100)
+	// Output:
+	// top 1%: 53% of requests
+	// top 10%: 76% of requests
+}
+
+// SolveFiles inverts z: how large a catalog makes a 1000-file cache hit
+// only 60% of the time?
+func ExampleSolveFiles() {
+	f := zipf.SolveFiles(1, 1000, 0.6)
+	fmt.Printf("catalog of about %d files\n", f)
+	fmt.Printf("check: z = %.3f\n", zipf.Z(1, 1000, f))
+	// Output:
+	// catalog of about 147056 files
+	// check: z = 0.600
+}

@@ -1,0 +1,218 @@
+// Package zipf implements the Zipf-like request popularity distributions
+// that the paper (following Breslau et al. [7]) uses for both its analytic
+// model and its workload characterization: the probability of a request for
+// the i'th most popular of F files is proportional to 1/i^alpha, with alpha
+// typically below one for WWW traces.
+//
+// The package provides the accumulated probability z(n, F) of requesting one
+// of the n most popular files, its inverse (solving for the catalog size F
+// that yields a target hit rate, as required by the paper's definition of
+// the locality-conscious hit rate), and a sampler for trace generation.
+package zipf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// exactLimit is the largest n for which Harmonic sums term by term; beyond
+// it an Euler-Maclaurin expansion keeps the error below 1e-10 relative.
+const exactLimit = 1 << 10
+
+// Harmonic returns the generalized harmonic number H(alpha, n) =
+// sum_{i=1..n} i^-alpha. It accepts any alpha >= 0 and n >= 0.
+func Harmonic(alpha float64, n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= exactLimit {
+		return exactSum(alpha, n)
+	}
+	base := exactSum(alpha, exactLimit)
+	return base + tailSum(alpha, exactLimit, n)
+}
+
+func exactSum(alpha float64, n int64) float64 {
+	// Sum smallest terms first for floating-point accuracy.
+	var s float64
+	if alpha == 1 {
+		for i := n; i >= 1; i-- {
+			s += 1 / float64(i)
+		}
+		return s
+	}
+	for i := n; i >= 1; i-- {
+		s += math.Pow(float64(i), -alpha)
+	}
+	return s
+}
+
+// tailSum approximates sum_{i=a+1..b} i^-alpha with Euler-Maclaurin:
+// integral + boundary + first derivative correction.
+func tailSum(alpha float64, a, b int64) float64 {
+	fa := math.Pow(float64(a), -alpha)
+	fb := math.Pow(float64(b), -alpha)
+	var integral float64
+	if alpha == 1 {
+		integral = math.Log(float64(b) / float64(a))
+	} else {
+		integral = (math.Pow(float64(b), 1-alpha) - math.Pow(float64(a), 1-alpha)) / (1 - alpha)
+	}
+	// sum_{i=a..b} f(i) ~ integral + (fa+fb)/2 + (f'(b)-f'(a))/12, then drop f(a).
+	dfa := -alpha * math.Pow(float64(a), -alpha-1)
+	dfb := -alpha * math.Pow(float64(b), -alpha-1)
+	return integral + (fa+fb)/2 + (dfb-dfa)/12 - fa
+}
+
+// Z returns the accumulated probability z(n, F) of a request hitting one of
+// the n most popular files out of F, under a Zipf-like law with the given
+// alpha. It is 0 for n <= 0 and 1 for n >= F.
+func Z(alpha float64, n, files int64) float64 {
+	if files <= 0 {
+		return 0
+	}
+	if n <= 0 {
+		return 0
+	}
+	if n >= files {
+		return 1
+	}
+	return Harmonic(alpha, n) / Harmonic(alpha, files)
+}
+
+// SolveFiles returns the catalog size F such that z(n, F) is closest to the
+// target probability. This is the inverse the paper uses to express the
+// locality-conscious hit rate as a function of the locality-oblivious one:
+// "f is such that Hlo = z(Clo/S, f)". The result is at least n.
+//
+// z(n, F) is strictly decreasing in F for fixed n, so a binary search works.
+// Targets of 1 (or above) return n; impossible targets (below the limit as
+// F -> infinity, which is 0 for alpha <= 1) return the search upper bound.
+func SolveFiles(alpha float64, n int64, target float64) int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("zipf: SolveFiles needs n >= 1, got %d", n))
+	}
+	if target >= 1 {
+		return n
+	}
+	if target <= 0 {
+		panic(fmt.Sprintf("zipf: SolveFiles target must be positive, got %v", target))
+	}
+	lo, hi := n, int64(1)<<50
+	if Z(alpha, n, hi) > target {
+		return hi
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if Z(alpha, n, mid) > target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// lo is the smallest F with z <= target; check its neighbor for closeness.
+	if lo > n {
+		below := Z(alpha, n, lo)
+		above := Z(alpha, n, lo-1)
+		if math.Abs(above-target) < math.Abs(below-target) {
+			return lo - 1
+		}
+	}
+	return lo
+}
+
+// Dist is a concrete Zipf-like distribution over ranks 1..F, with a
+// precomputed CDF for O(log F) sampling and O(1) popularity queries.
+type Dist struct {
+	Alpha float64
+	F     int64
+	cdf   []float64 // cdf[i] = P(rank <= i+1)
+}
+
+// New builds the distribution. F must be at least 1; alpha must be >= 0.
+func New(alpha float64, files int64) *Dist {
+	if files < 1 {
+		panic(fmt.Sprintf("zipf: need at least one file, got %d", files))
+	}
+	if alpha < 0 {
+		panic(fmt.Sprintf("zipf: alpha must be >= 0, got %v", alpha))
+	}
+	cdf := make([]float64, files)
+	var sum float64
+	for i := int64(0); i < files; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[files-1] = 1 // guard against rounding
+	return &Dist{Alpha: alpha, F: files, cdf: cdf}
+}
+
+// P returns the probability of the file with popularity rank i (1-based).
+func (d *Dist) P(rank int64) float64 {
+	if rank < 1 || rank > d.F {
+		return 0
+	}
+	if rank == 1 {
+		return d.cdf[0]
+	}
+	return d.cdf[rank-1] - d.cdf[rank-2]
+}
+
+// CDF returns P(rank <= n).
+func (d *Dist) CDF(n int64) float64 {
+	if n < 1 {
+		return 0
+	}
+	if n >= d.F {
+		return 1
+	}
+	return d.cdf[n-1]
+}
+
+// Sample draws a popularity rank in [1, F].
+func (d *Dist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(d.cdf, u)
+	if i >= len(d.cdf) {
+		i = len(d.cdf) - 1
+	}
+	return int64(i + 1)
+}
+
+// FitAlpha estimates the Zipf exponent of an observed popularity
+// distribution by least-squares regression of log(frequency) on log(rank),
+// the standard procedure used to characterize WWW traces. counts must hold
+// per-file request counts (any order); files with zero requests are ignored.
+func FitAlpha(counts []int64) float64 {
+	freqs := make([]float64, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			freqs = append(freqs, float64(c))
+		}
+	}
+	if len(freqs) < 2 {
+		return 0
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(freqs)))
+	var sx, sy, sxx, sxy float64
+	n := float64(len(freqs))
+	for i, f := range freqs {
+		x := math.Log(float64(i + 1))
+		y := math.Log(f)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}
