@@ -1,0 +1,35 @@
+# Build and verification targets for the cluster-server reproduction.
+
+GO ?= go
+
+.PHONY: all build test check race fmt vet bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# check is the tier-1 gate: formatting, static analysis, a full build, and
+# the whole test suite.
+check: fmt vet build test
+
+# race exercises the deterministic sweep runner and the simulator under the
+# race detector — the parallel-equals-sequential guarantee is only as good
+# as its synchronization.
+race:
+	$(GO) test -race ./internal/runner/... ./internal/server/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -11,9 +11,15 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/queuemodel"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
+
+// benchPool is the sweep executor the study benches share. Workers=0 uses
+// every core; results are identical to sequential, so the reported metrics
+// do not depend on the parallelism.
+func benchPool() *runner.Pool { return runner.NewPool(0) }
 
 // benchOptions is the reduced scale used by the figure benches.
 func benchOptions() experiments.Options {
@@ -182,7 +188,7 @@ func BenchmarkMemoryScaling(b *testing.B) {
 	b.ResetTimer()
 	var figs []experiments.Figure
 	for i := 0; i < b.N; i++ {
-		figs, _, err = experiments.MemoryScaling(tr, []int{8, 16})
+		figs, _, err = experiments.MemoryScaling(benchPool(), tr, []int{8, 16})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +214,7 @@ func BenchmarkL2SSensitivity(b *testing.B) {
 	b.ResetTimer()
 	var results map[string][]experiments.SensitivityResult
 	for i := 0; i < b.N; i++ {
-		results, _, err = experiments.L2SSensitivity(tr, 16)
+		results, _, err = experiments.L2SSensitivity(benchPool(), tr, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +232,7 @@ func BenchmarkFailover(b *testing.B) {
 	tr := trace.MustGenerate(spec.Scaled(0.04))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.FailoverStudy(tr, 8); err != nil {
+		if _, err := experiments.FailoverStudy(benchPool(), tr, 8); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -263,7 +269,7 @@ func BenchmarkPolicyComparison(b *testing.B) {
 	b.ResetTimer()
 	var rows []experiments.PolicyRow
 	for i := 0; i < b.N; i++ {
-		rows, _, err = experiments.PolicyComparison(tr, 16)
+		rows, _, err = experiments.PolicyComparison(benchPool(), tr, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -287,7 +293,7 @@ func BenchmarkLARDVariants(b *testing.B) {
 	b.ResetTimer()
 	var rows []experiments.PolicyRow
 	for i := 0; i < b.N; i++ {
-		rows, _, err = experiments.LARDVariants(tr, 16)
+		rows, _, err = experiments.LARDVariants(benchPool(), tr, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -305,7 +311,7 @@ func BenchmarkPersistentConnections(b *testing.B) {
 	b.ResetTimer()
 	var rows []experiments.PersistentRow
 	for i := 0; i < b.N; i++ {
-		rows, _, err = experiments.PersistentStudy(tr, 16, 7)
+		rows, _, err = experiments.PersistentStudy(benchPool(), tr, 16, 7)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -329,7 +335,7 @@ func BenchmarkLatencyStudy(b *testing.B) {
 	b.ResetTimer()
 	var fig experiments.Figure
 	for i := 0; i < b.N; i++ {
-		fig, _, err = experiments.LatencyStudy(tr, 16, []float64{500, 1500, 2500})
+		fig, _, err = experiments.LatencyStudy(benchPool(), tr, 16, []float64{500, 1500, 2500})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -347,7 +353,7 @@ func BenchmarkHeterogeneousStudy(b *testing.B) {
 	b.ResetTimer()
 	var rows []experiments.PolicyRow
 	for i := 0; i < b.N; i++ {
-		rows, _, err = experiments.HeterogeneousStudy(tr, 16, 0.5)
+		rows, _, err = experiments.HeterogeneousStudy(benchPool(), tr, 16, 0.5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -365,7 +371,7 @@ func BenchmarkSection6(b *testing.B) {
 	var rows []experiments.PolicyRow
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, _, err = experiments.Section6Study(tr, 16)
+		rows, _, err = experiments.Section6Study(benchPool(), tr, 16)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -373,4 +379,33 @@ func BenchmarkSection6(b *testing.B) {
 	b.ReportMetric(rows[0].Throughput, "lard-req/s")
 	b.ReportMetric(rows[1].Throughput, "dispatch-req/s")
 	b.ReportMetric(rows[2].Throughput, "l2s-req/s")
+}
+
+// BenchmarkSweepRunner measures the deterministic worker pool itself: a
+// 3-system x 2-size sweep dispatched through internal/runner, the same
+// path cmd/experiments and cmd/clustersim comparison mode use.
+func BenchmarkSweepRunner(b *testing.B) {
+	spec, err := trace.PaperTrace("calgary")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := trace.MustGenerate(spec.Scaled(0.03))
+	var jobs []runner.Job
+	for _, sys := range []server.System{server.L2SServer, server.LARDServer, server.Traditional} {
+		for _, n := range []int{8, 16} {
+			jobs = append(jobs, runner.Job{
+				Key:    sys.String() + "/bench",
+				Config: server.NewConfig(sys, n),
+				Trace:  tr,
+			})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, jr := range runner.NewPool(0).Run(jobs) {
+			if jr.Err != nil {
+				b.Fatal(jr.Err)
+			}
+		}
+	}
 }

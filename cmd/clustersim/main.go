@@ -1,12 +1,19 @@
-// Command clustersim runs one trace-driven cluster server simulation: pick
-// a system (traditional, lard, l2s), a workload, and a cluster size, and it
+// Command clustersim runs trace-driven cluster server simulations: pick a
+// distribution policy (or several), a workload, and a cluster size, and it
 // reports the Section 5 metrics.
+//
+// Policies are resolved through the policy registry (policy.Names), so an
+// unknown -system lists every valid one. Multi-system comparison mode runs
+// several policies over the same workload on a deterministic parallel
+// worker pool and prints them side by side.
 //
 // Usage:
 //
 //	clustersim -system l2s -trace calgary -nodes 16 -scale 0.2
 //	clustersim -system lard -in real.trace -nodes 8 -mem 128
 //	clustersim -system l2s -trace nasa -nodes 16 -fail 3 -failat 0.5
+//	clustersim -system l2s,lard,traditional -nodes 16    # comparison mode
+//	clustersim -system all -workers 4                    # every policy
 package main
 
 import (
@@ -14,15 +21,18 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/policy"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		system   = flag.String("system", "l2s", "traditional, lard, lard-basic, lard-dispatch, l2s, hashing, random, or cached-dns")
+		system   = flag.String("system", "l2s", "policy name, comma-separated list, or \"all\" (valid: "+strings.Join(policy.Names(), ", ")+")")
 		name     = flag.String("trace", "calgary", "paper trace to generate")
 		in       = flag.String("in", "", "trace file (overrides -trace)")
 		scale    = flag.Float64("scale", 0.2, "request-count scale for generated traces")
@@ -41,37 +51,11 @@ func main() {
 		dnsTTL   = flag.Int("dnsttl", 50, "cached-dns: requests per cached translation")
 		dfs      = flag.Bool("dfs", false, "explicit distributed file system (remote disk reads)")
 		rate     = flag.Float64("rate", 0, "open-loop Poisson arrival rate (0: saturation)")
+		seed     = flag.Int64("seed", 0, "base RNG seed (0: policy defaults)")
+		workers  = flag.Int("workers", 0, "concurrent simulations in comparison mode (0: all cores)")
 		verbose  = flag.Bool("v", false, "per-node detail")
 	)
 	flag.Parse()
-
-	var sys server.System
-	var custom func(env policy.Env) policy.Distributor
-	switch *system {
-	case "traditional", "trad":
-		sys = server.Traditional
-	case "lard":
-		sys = server.LARDServer
-	case "lard-dispatch":
-		sys = server.LARDDispatcher
-	case "l2s":
-		sys = server.L2SServer
-	case "lard-basic":
-		sys = server.LARDServer
-	case "hashing":
-		sys = server.CustomServer
-		custom = func(env policy.Env) policy.Distributor { return policy.NewHashing(env) }
-	case "random":
-		sys = server.CustomServer
-		custom = func(env policy.Env) policy.Distributor { return policy.NewRandom(env, 7) }
-	case "cached-dns":
-		sys = server.CustomServer
-		ttl := *dnsTTL
-		custom = func(env policy.Env) policy.Distributor { return policy.NewCachedDNS(env, ttl) }
-	default:
-		fmt.Fprintf(os.Stderr, "clustersim: unknown system %q\n", *system)
-		os.Exit(2)
-	}
 
 	var tr *trace.Trace
 	var err error
@@ -89,26 +73,47 @@ func main() {
 	}
 	fatalIf(err)
 
-	cfg := server.DefaultConfig(sys, *nodes)
-	cfg.CacheBytes = *memMB << 20
-	cfg.WindowPerNode = *window
-	cfg.WarmFraction = *warm
-	cfg.FailNode = *failNode
-	cfg.FailAtFrac = *failAt
-	cfg.L2S.T = *t
-	cfg.L2S.LowT = *lowT
-	cfg.L2S.BroadcastDelta = *delta
-	cfg.L2S.Oracle = *oracle
-	cfg.Persistent = *persist
-	cfg.ReqsPerConn = *rpc
-	cfg.DistributedFS = *dfs
-	cfg.ArrivalRate = *rate
-	cfg.CustomPolicy = custom
-	if *system == "lard-basic" {
-		cfg.LARD.Replication = false
+	// Every policy is built by name through the registry; there is no
+	// per-system construction code here.
+	buildConfig := func(policyName string) server.Config {
+		opts := []server.Option{
+			server.WithPolicy(policyName),
+			server.WithCacheBytes(*memMB << 20),
+			server.WithWindow(*window),
+			server.WithWarmFraction(*warm),
+			server.WithDNSTTL(*dnsTTL),
+			server.WithSeed(*seed),
+		}
+		if *failNode >= 0 {
+			opts = append(opts, server.WithFailure(*failNode, *failAt))
+		}
+		if *persist {
+			opts = append(opts, server.WithPersistent(*rpc))
+		}
+		if *dfs {
+			opts = append(opts, server.WithDistributedFS())
+		}
+		if *rate > 0 {
+			opts = append(opts, server.WithArrivalRate(*rate))
+		}
+		cfg := server.NewConfig(server.CustomServer, *nodes, opts...)
+		cfg.L2S.T = *t
+		cfg.L2S.LowT = *lowT
+		cfg.L2S.BroadcastDelta = *delta
+		cfg.L2S.Oracle = *oracle
+		return cfg
 	}
 
-	r, err := server.Run(cfg, tr)
+	names := strings.Split(*system, ",")
+	if *system == "all" {
+		names = policy.Names()
+	}
+	if len(names) > 1 {
+		compare(names, buildConfig, tr, *workers, *memMB)
+		return
+	}
+
+	r, err := server.Run(buildConfig(names[0]), tr)
 	fatalIf(err)
 
 	fmt.Printf("system=%s nodes=%d trace=%s requests=%d mem=%dMB\n",
@@ -144,6 +149,34 @@ func main() {
 			fmt.Printf("  node %2d: %5.1f%%\n", i, u*100)
 		}
 	}
+}
+
+// compare runs every named policy over the same workload on the parallel
+// sweep runner and prints the Section 5 metrics side by side.
+func compare(names []string, buildConfig func(string) server.Config, tr *trace.Trace, workers int, memMB int64) {
+	jobs := make([]runner.Job, len(names))
+	for i, n := range names {
+		jobs[i] = runner.Job{Key: n, Config: buildConfig(n), Trace: tr}
+	}
+	start := time.Now()
+	results := runner.NewPool(workers).Run(jobs)
+
+	fmt.Printf("comparison on %s (%d requests), %d nodes, %d MB per node\n",
+		tr.Name, tr.NumRequests(), jobs[0].Config.Nodes, memMB)
+	fmt.Printf("  %-14s %10s %8s %8s %10s %8s %12s\n",
+		"system", "req/s", "miss%", "fwd%", "imbalance", "idle%", "p50 ms")
+	for _, jr := range results {
+		if jr.Err != nil {
+			fmt.Printf("  %-14s failed: %v\n", jr.Key, jr.Err)
+			continue
+		}
+		r := jr.Result
+		fmt.Printf("  %-14s %10.0f %8.1f %8.1f %10.2f %8.1f %12.2f\n",
+			r.System, r.Throughput, r.MissRate*100, r.ForwardedFrac*100,
+			r.LoadImbalance, r.CPUIdle*100, r.LatencyP50*1000)
+	}
+	fmt.Fprintf(os.Stderr, "clustersim: %d simulations in %v\n",
+		len(jobs), time.Since(start).Round(time.Millisecond))
 }
 
 func fatalIf(err error) {

@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	experiments                 # everything at the default scale
+//	experiments                 # everything at the default scale, all cores
+//	experiments -workers 1      # identical output, one simulation at a time
 //	experiments -scale 0.05     # quick pass
 //	experiments -only figure8   # one experiment
 //	experiments -csv            # machine-readable figures
+//	experiments -progress       # report each finished simulation on stderr
+//
+// Simulations within an experiment run concurrently on a deterministic
+// worker pool (internal/runner): the figures are bit-identical for every
+// -workers value.
 package main
 
 import (
@@ -18,20 +24,35 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		scale = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
-		only  = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, latency)")
-		csv   = flag.Bool("csv", false, "emit figures as CSV instead of tables")
-		chart = flag.Bool("chart", false, "draw figures as ASCII charts too")
+		scale    = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
+		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, latency)")
+		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
+		chart    = flag.Bool("chart", false, "draw figures as ASCII charts too")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0: all cores, 1: sequential)")
+		progress = flag.Bool("progress", false, "report each finished simulation on stderr")
 	)
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
 	opts.Scale = *scale
+	opts.Workers = *workers
+	if *progress {
+		opts.Progress = func(p runner.Progress) {
+			status := "ok"
+			if p.Job.Err != nil {
+				status = "FAILED: " + p.Job.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%v) %s\n",
+				p.Done, p.Total, p.Job.Key, p.Job.Elapsed.Round(time.Millisecond), status)
+		}
+	}
+	pool := opts.Pool()
 
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
@@ -96,7 +117,7 @@ func main() {
 		fatalIf(err)
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
-		_, text, err := experiments.L2SSensitivity(tr, 16)
+		_, text, err := experiments.L2SSensitivity(pool, tr, 16)
 		fatalIf(err)
 		fmt.Println(text)
 	}
@@ -107,7 +128,7 @@ func main() {
 			fatalIf(err)
 			tr, err := trace.Generate(spec.Scaled(opts.Scale))
 			fatalIf(err)
-			_, text, err := experiments.MemoryScaling(tr, opts.Nodes)
+			_, text, err := experiments.MemoryScaling(pool, tr, opts.Nodes)
 			fatalIf(err)
 			fmt.Println(text)
 		}
@@ -118,7 +139,7 @@ func main() {
 		fatalIf(err)
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
-		_, text, err := experiments.PolicyComparison(tr, 16)
+		_, text, err := experiments.PolicyComparison(pool, tr, 16)
 		fatalIf(err)
 		fmt.Println(text)
 	}
@@ -130,7 +151,7 @@ func main() {
 		spec.Clients = 5000
 		tr, err := trace.Generate(spec)
 		fatalIf(err)
-		_, text, err := experiments.PersistentStudy(tr, 16, 7)
+		_, text, err := experiments.PersistentStudy(pool, tr, 16, 7)
 		fatalIf(err)
 		fmt.Println(text)
 	}
@@ -140,7 +161,7 @@ func main() {
 		fatalIf(err)
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
-		text, err := experiments.FailoverStudy(tr, 16)
+		text, err := experiments.FailoverStudy(pool, tr, 16)
 		fatalIf(err)
 		fmt.Println(text)
 		fig, err := experiments.FailoverTimeline(tr, 16, 3)
@@ -153,7 +174,7 @@ func main() {
 		fatalIf(err)
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
-		_, text, err := experiments.Section6Study(tr, 16)
+		_, text, err := experiments.Section6Study(pool, tr, 16)
 		fatalIf(err)
 		fmt.Println(text)
 	}
@@ -163,7 +184,7 @@ func main() {
 		fatalIf(err)
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
-		_, text, err := experiments.HeterogeneousStudy(tr, 16, 0.5)
+		_, text, err := experiments.HeterogeneousStudy(pool, tr, 16, 0.5)
 		fatalIf(err)
 		fmt.Println(text)
 	}
@@ -173,7 +194,7 @@ func main() {
 		fatalIf(err)
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
-		_, text, err := experiments.LatencyStudy(tr, 16,
+		_, text, err := experiments.LatencyStudy(pool, tr, 16,
 			[]float64{500, 1000, 2000, 3000, 4000, 5000})
 		fatalIf(err)
 		fmt.Println(text)

@@ -57,6 +57,39 @@ func DefaultOptions() Options {
 	return Options{T: 20, LowT: 10, BroadcastDelta: 4, ShrinkAfter: 20}
 }
 
+// Validate reports option errors.
+func (o Options) Validate() error {
+	if o.T <= 0 || o.LowT < 0 || o.LowT > o.T {
+		return fmt.Errorf("core: bad L2S thresholds %+v", o)
+	}
+	if o.BroadcastDelta <= 0 {
+		return fmt.Errorf("core: BroadcastDelta must be positive, got %d", o.BroadcastDelta)
+	}
+	return nil
+}
+
+// init places L2S in the policy registry next to the baselines it is
+// evaluated against, so CLIs and sweeps construct every policy through
+// policy.New. Options.L2S carries this package's Options.
+func init() {
+	policy.Register("l2s", func(env policy.Env, popts policy.Options) (policy.Distributor, error) {
+		opts := DefaultOptions()
+		if popts.L2S != nil {
+			o, ok := popts.L2S.(Options)
+			if !ok {
+				return nil, fmt.Errorf("core: policy Options.L2S has type %T, want core.Options", popts.L2S)
+			}
+			if o != (Options{}) {
+				opts = o
+			}
+		}
+		if err := opts.Validate(); err != nil {
+			return nil, err
+		}
+		return New(env, opts), nil
+	})
+}
+
 // L2S implements policy.Distributor.
 type L2S struct {
 	env  policy.Env
@@ -96,11 +129,8 @@ func (s *serverSet) contains(n int) bool {
 
 // New builds an L2S distributor over the environment's cluster.
 func New(env policy.Env, opts Options) *L2S {
-	if opts.T <= 0 || opts.LowT < 0 || opts.LowT > opts.T {
-		panic(fmt.Sprintf("core: bad L2S thresholds %+v", opts))
-	}
-	if opts.BroadcastDelta <= 0 {
-		panic(fmt.Sprintf("core: BroadcastDelta must be positive, got %d", opts.BroadcastDelta))
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
 	}
 	n := env.N()
 	all := make([]int, n)

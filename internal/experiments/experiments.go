@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/queuemodel"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -29,6 +30,19 @@ type Options struct {
 	CacheBytes int64
 	// Replication is the model curve's replication fraction (paper: 15%).
 	Replication float64
+	// Workers is how many simulations run concurrently: 0 uses every
+	// core, 1 forces the sequential path. Results are identical either
+	// way; only wall-clock time changes.
+	Workers int
+	// Progress, when non-nil, observes each completed simulation.
+	Progress func(p runner.Progress)
+}
+
+// Pool returns the sweep executor the options describe.
+func (o Options) Pool() *runner.Pool {
+	p := runner.NewPool(o.Workers)
+	p.OnProgress = o.Progress
+	return p
 }
 
 // DefaultOptions returns a fast-but-faithful configuration: 15% of each

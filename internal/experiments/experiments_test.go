@@ -4,8 +4,14 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
+
+// testPool runs study sweeps on every core; results are identical to
+// sequential execution, which TestParallelWorkloadMatchesSequential checks
+// end to end.
+func testPool() *runner.Pool { return runner.NewPool(0) }
 
 // fastOptions keeps the experiment tests quick: a small slice of each
 // trace and three cluster sizes.
@@ -165,7 +171,7 @@ func TestFigureRenderAndCSV(t *testing.T) {
 
 func TestL2SSensitivityRobust(t *testing.T) {
 	tr := fastTrace(t, "calgary", 0.05)
-	results, text, err := L2SSensitivity(tr, 8)
+	results, text, err := L2SSensitivity(testPool(), tr, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +219,7 @@ func TestL2SSensitivityRobust(t *testing.T) {
 
 func TestMemoryScalingHelpsTraditionalMost(t *testing.T) {
 	tr := fastTrace(t, "calgary", 0.2)
-	figs, text, err := MemoryScaling(tr, []int{4, 8})
+	figs, text, err := MemoryScaling(testPool(), tr, []int{4, 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +252,7 @@ func TestMemoryScalingHelpsTraditionalMost(t *testing.T) {
 
 func TestFailoverStudy(t *testing.T) {
 	tr := fastTrace(t, "calgary", 0.05)
-	text, err := FailoverStudy(tr, 8)
+	text, err := FailoverStudy(testPool(), tr, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +265,7 @@ func TestFailoverStudy(t *testing.T) {
 
 func TestPolicyComparisonOrdering(t *testing.T) {
 	tr := fastTrace(t, "clarknet", 0.05)
-	rows, text, err := PolicyComparison(tr, 16)
+	rows, text, err := PolicyComparison(testPool(), tr, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +295,7 @@ func TestPersistentStudyEffects(t *testing.T) {
 	}
 	spec = spec.Scaled(0.08)
 	tr := trace.MustGenerate(spec)
-	rows, text, err := PersistentStudy(tr, 16, 7)
+	rows, text, err := PersistentStudy(testPool(), tr, 16, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +321,7 @@ func TestPersistentStudyEffects(t *testing.T) {
 
 func TestLARDVariantsClose(t *testing.T) {
 	tr := fastTrace(t, "calgary", 0.05)
-	rows, text, err := LARDVariants(tr, 16)
+	rows, text, err := LARDVariants(testPool(), tr, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -342,7 +348,7 @@ func TestLARDVariantsClose(t *testing.T) {
 
 func TestLatencyStudyShape(t *testing.T) {
 	tr := fastTrace(t, "calgary", 0.08)
-	fig, text, err := LatencyStudy(tr, 16, []float64{500, 2000, 4000})
+	fig, text, err := LatencyStudy(testPool(), tr, 16, []float64{500, 2000, 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +412,7 @@ func TestChartDegenerate(t *testing.T) {
 
 func TestHeterogeneousStudy(t *testing.T) {
 	tr := fastTrace(t, "calgary", 0.05)
-	rows, text, err := HeterogeneousStudy(tr, 8, 0.5)
+	rows, text, err := HeterogeneousStudy(testPool(), tr, 8, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +453,7 @@ func TestSection6Ordering(t *testing.T) {
 		Name: "s6", Files: 1000, AvgFileKB: 5, Requests: 60000,
 		AvgReqKB: 4, Alpha: 0.9, LocalityP: 0.3, Seed: 8,
 	})
-	rows, text, err := Section6Study(tr, 16)
+	rows, text, err := Section6Study(testPool(), tr, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -472,5 +478,29 @@ func TestReuseCurveMatchesLRUPasses(t *testing.T) {
 		if direct != fast {
 			t.Errorf("capacity %dMB: curve %v != LRU %v", capMB, fast, direct)
 		}
+	}
+}
+
+// TestParallelWorkloadMatchesSequential is the acceptance check for the
+// sweep runner: a figure regenerated on eight workers must be byte-for-byte
+// the CSV a sequential run produces.
+func TestParallelWorkloadMatchesSequential(t *testing.T) {
+	tr := fastTrace(t, "calgary", 0.05)
+	runFig := func(workers int) string {
+		opts := fastOptions()
+		opts.Workers = workers
+		run, err := RunWorkload(tr, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return run.ThroughputFigure("figure7").CSV() +
+			run.MissRateFigure().CSV() +
+			run.IdleTimeFigure().CSV() +
+			run.ForwardingFigure().CSV()
+	}
+	seq := runFig(1)
+	par := runFig(8)
+	if seq != par {
+		t.Fatalf("parallel CSVs differ from sequential:\n--- sequential\n%s\n--- parallel\n%s", seq, par)
 	}
 }

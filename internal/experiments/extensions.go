@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/policy"
 	"repro/internal/queuemodel"
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -20,45 +20,49 @@ type PolicyRow struct {
 	CPUIdle    float64
 }
 
+// policyRow condenses a result into the comparison columns.
+func policyRow(name string, r server.Result) PolicyRow {
+	return PolicyRow{
+		Policy:     name,
+		Throughput: r.Throughput,
+		MissRate:   r.MissRate,
+		Forwarded:  r.ForwardedFrac,
+		Imbalance:  r.LoadImbalance,
+		CPUIdle:    r.CPUIdle,
+	}
+}
+
+// runRows executes one job per row label and condenses the results.
+func runRows(p *runner.Pool, jobs []runner.Job, label func(i int, r server.Result) string) ([]PolicyRow, error) {
+	var rows []PolicyRow
+	for i, jr := range p.Run(jobs) {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
+		}
+		rows = append(rows, policyRow(label(i, jr.Result), jr.Result))
+	}
+	return rows, nil
+}
+
 // PolicyComparison contrasts the full policy spectrum on one workload: the
 // three servers of the paper's evaluation plus the strawmen its earlier
 // sections discuss — strict locality by hashing (Section 1: "can produce
 // severe load imbalance"), random arrival, and round-robin DNS with
 // translation caching (Section 2: "can cause significant load imbalance").
-func PolicyComparison(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
-	type entry struct {
-		name string
-		cfg  func() server.Config
-	}
-	custom := func(mk func(env policy.Env) policy.Distributor) func() server.Config {
-		return func() server.Config {
-			cfg := server.DefaultConfig(server.CustomServer, nodes)
-			cfg.CustomPolicy = mk
-			return cfg
+// Every policy is constructed through the policy registry.
+func PolicyComparison(p *runner.Pool, tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
+	names := []string{"l2s", "lard", "traditional", "hashing", "random", "cached-dns"}
+	jobs := make([]runner.Job, len(names))
+	for i, name := range names {
+		jobs[i] = runner.Job{
+			Key:    fmt.Sprintf("policies/%s/n=%d", name, nodes),
+			Config: server.NewConfig(server.CustomServer, nodes, server.WithPolicy(name)),
+			Trace:  tr,
 		}
 	}
-	entries := []entry{
-		{"l2s", func() server.Config { return server.DefaultConfig(server.L2SServer, nodes) }},
-		{"lard", func() server.Config { return server.DefaultConfig(server.LARDServer, nodes) }},
-		{"traditional", func() server.Config { return server.DefaultConfig(server.Traditional, nodes) }},
-		{"hashing", custom(func(env policy.Env) policy.Distributor { return policy.NewHashing(env) })},
-		{"random", custom(func(env policy.Env) policy.Distributor { return policy.NewRandom(env, 7) })},
-		{"cached-dns", custom(func(env policy.Env) policy.Distributor { return policy.NewCachedDNS(env, 50) })},
-	}
-	var rows []PolicyRow
-	for _, e := range entries {
-		r, err := server.Run(e.cfg(), tr)
-		if err != nil {
-			return nil, "", fmt.Errorf("experiments: policy %s: %w", e.name, err)
-		}
-		rows = append(rows, PolicyRow{
-			Policy:     e.name,
-			Throughput: r.Throughput,
-			MissRate:   r.MissRate,
-			Forwarded:  r.ForwardedFrac,
-			Imbalance:  r.LoadImbalance,
-			CPUIdle:    r.CPUIdle,
-		})
+	rows, err := runRows(p, jobs, func(i int, _ server.Result) string { return names[i] })
+	if err != nil {
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "policy comparison on %s, %d nodes\n", tr.Name, nodes)
@@ -77,23 +81,22 @@ func PolicyComparison(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
 // workloads the two behave similarly — replication matters when hot
 // documents outgrow one node, which the thresholds make rare at these
 // loads.
-func LARDVariants(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
-	var rows []PolicyRow
-	for _, replication := range []bool{false, true} {
-		cfg := server.DefaultConfig(server.LARDServer, nodes)
-		cfg.LARD.Replication = replication
-		r, err := server.Run(cfg, tr)
-		if err != nil {
-			return nil, "", err
-		}
-		rows = append(rows, PolicyRow{
-			Policy:     r.System,
-			Throughput: r.Throughput,
-			MissRate:   r.MissRate,
-			Forwarded:  r.ForwardedFrac,
-			Imbalance:  r.LoadImbalance,
-			CPUIdle:    r.CPUIdle,
-		})
+func LARDVariants(p *runner.Pool, tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
+	jobs := []runner.Job{
+		{
+			Key:    "lard-variants/basic",
+			Config: server.NewConfig(server.CustomServer, nodes, server.WithPolicy("lard-basic")),
+			Trace:  tr,
+		},
+		{
+			Key:    "lard-variants/replicated",
+			Config: server.NewConfig(server.LARDServer, nodes),
+			Trace:  tr,
+		},
+	}
+	rows, err := runRows(p, jobs, func(_ int, r server.Result) string { return r.System })
+	if err != nil {
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "lard variants on %s, %d nodes\n", tr.Name, nodes)
@@ -120,29 +123,45 @@ type PersistentRow struct {
 // The headline effect: persistence multiplies LARD's front-end ceiling by
 // the requests-per-connection factor, while L2S — which has no per-request
 // front-end cost to amortize — holds its throughput and halves latency.
-func PersistentStudy(tr *trace.Trace, nodes int, reqsPerConn float64) ([]PersistentRow, string, error) {
-	var rows []PersistentRow
+func PersistentStudy(p *runner.Pool, tr *trace.Trace, nodes int, reqsPerConn float64) ([]PersistentRow, string, error) {
+	type study struct {
+		sys        server.System
+		persistent bool
+	}
+	var cases []study
+	var jobs []runner.Job
 	for _, sys := range []server.System{server.L2SServer, server.LARDServer, server.Traditional} {
 		for _, persistent := range []bool{false, true} {
-			cfg := server.DefaultConfig(sys, nodes)
-			cfg.Persistent = persistent
-			cfg.ReqsPerConn = reqsPerConn
-			r, err := server.Run(cfg, tr)
-			if err != nil {
-				return nil, "", err
-			}
+			opts := []server.Option{}
 			mode := "http/1.0"
 			if persistent {
+				opts = append(opts, server.WithPersistent(reqsPerConn))
 				mode = "http/1.1"
 			}
-			rows = append(rows, PersistentRow{
-				System:     r.System,
-				Mode:       mode,
-				Throughput: r.Throughput,
-				Forwarded:  r.ForwardedFrac,
-				LatencyP50: r.LatencyP50,
+			cases = append(cases, study{sys, persistent})
+			jobs = append(jobs, runner.Job{
+				Key:    fmt.Sprintf("persistent/%s/%s", sys, mode),
+				Config: server.NewConfig(sys, nodes, opts...),
+				Trace:  tr,
 			})
 		}
+	}
+	var rows []PersistentRow
+	for i, jr := range p.Run(jobs) {
+		if jr.Err != nil {
+			return nil, "", fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
+		}
+		mode := "http/1.0"
+		if cases[i].persistent {
+			mode = "http/1.1"
+		}
+		rows = append(rows, PersistentRow{
+			System:     jr.Result.System,
+			Mode:       mode,
+			Throughput: jr.Result.Throughput,
+			Forwarded:  jr.Result.ForwardedFrac,
+			LatencyP50: jr.Result.LatencyP50,
+		})
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "persistent connections on %s, %d nodes, mean %.0f requests/connection\n",
@@ -161,12 +180,21 @@ func PersistentStudy(tr *trace.Trace, nodes int, reqsPerConn float64) ([]Persist
 // of the throughput bounds (the paper focuses on throughput because WAN
 // latencies dwarf server latencies; this study validates the simulator
 // against the model's queueing formulas anyway).
-func LatencyStudy(tr *trace.Trace, nodes int, rates []float64) (Figure, string, error) {
+func LatencyStudy(p *runner.Pool, tr *trace.Trace, nodes int, rates []float64) (Figure, string, error) {
 	ch := trace.Characterize(tr)
 	opts := DefaultOptions()
-	p := queuemodelParams(ch, nodes, opts)
-	hlc := HitRateAtCapacity(tr, int64(p.TotalConsciousCache()))
+	params := queuemodelParams(ch, nodes, opts)
+	hlc := HitRateAtCapacity(tr, int64(params.TotalConsciousCache()))
 	h := HitRateAtCapacity(tr, int64(opts.Replication*float64(opts.CacheBytes)))
+
+	jobs := make([]runner.Job, len(rates))
+	for i, rate := range rates {
+		jobs[i] = runner.Job{
+			Key:    fmt.Sprintf("latency/l2s/rate=%g", rate),
+			Config: server.NewConfig(server.L2SServer, nodes, server.WithArrivalRate(rate)),
+			Trace:  tr,
+		}
+	}
 
 	fig := Figure{
 		ID:     "latency-" + tr.Name,
@@ -175,16 +203,14 @@ func LatencyStudy(tr *trace.Trace, nodes int, rates []float64) (Figure, string, 
 		YLabel: "latency ms",
 	}
 	var sim, model []float64
-	for _, rate := range rates {
-		cfg := server.DefaultConfig(server.L2SServer, nodes)
-		cfg.ArrivalRate = rate
-		r, err := server.Run(cfg, tr)
-		if err != nil {
-			return Figure{}, "", err
+	for i, jr := range p.Run(jobs) {
+		if jr.Err != nil {
+			return Figure{}, "", fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
 		}
+		rate := rates[i]
 		fig.X = append(fig.X, rate)
-		sim = append(sim, r.LatencyMean*1000)
-		model = append(model, p.Latency(rate, hlc, p.ForwardFraction(h))*1000)
+		sim = append(sim, jr.Result.LatencyMean*1000)
+		model = append(model, params.Latency(rate, hlc, params.ForwardFraction(h))*1000)
 	}
 	fig.Series = []Series{
 		{Label: "simulated", Values: sim},
@@ -209,7 +235,7 @@ func queuemodelParams(ch trace.Characteristics, nodes int, opts Options) queuemo
 // slower nodes hold their T-connection budget longer, so new work drifts
 // to the fast nodes — which is why both L2S and LARD degrade gracefully
 // while a speed-oblivious policy would track the slowest node.
-func HeterogeneousStudy(tr *trace.Trace, nodes int, slowFactor float64) ([]PolicyRow, string, error) {
+func HeterogeneousStudy(p *runner.Pool, tr *trace.Trace, nodes int, slowFactor float64) ([]PolicyRow, string, error) {
 	speeds := make([]float64, nodes)
 	for i := range speeds {
 		speeds[i] = 1
@@ -217,27 +243,27 @@ func HeterogeneousStudy(tr *trace.Trace, nodes int, slowFactor float64) ([]Polic
 			speeds[i] = slowFactor
 		}
 	}
-	var rows []PolicyRow
+	var names []string
+	var jobs []runner.Job
 	for _, sys := range []server.System{server.L2SServer, server.LARDServer, server.Traditional} {
 		for _, het := range []bool{false, true} {
-			cfg := server.DefaultConfig(sys, nodes)
+			opts := []server.Option{}
 			name := sys.String() + "/homogeneous"
 			if het {
-				cfg.CPUSpeeds = speeds
+				opts = append(opts, server.WithCPUSpeeds(speeds))
 				name = fmt.Sprintf("%s/half at %.0f%%", sys, slowFactor*100)
 			}
-			r, err := server.Run(cfg, tr)
-			if err != nil {
-				return nil, "", err
-			}
-			rows = append(rows, PolicyRow{
-				Policy:     name,
-				Throughput: r.Throughput,
-				MissRate:   r.MissRate,
-				Imbalance:  r.LoadImbalance,
-				CPUIdle:    r.CPUIdle,
+			names = append(names, name)
+			jobs = append(jobs, runner.Job{
+				Key:    "heterogeneous/" + name,
+				Config: server.NewConfig(sys, nodes, opts...),
+				Trace:  tr,
 			})
 		}
+	}
+	rows, err := runRows(p, jobs, func(i int, _ server.Result) string { return names[i] })
+	if err != nil {
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "heterogeneous cluster on %s, %d nodes\n", tr.Name, nodes)
@@ -252,10 +278,10 @@ func HeterogeneousStudy(tr *trace.Trace, nodes int, slowFactor float64) ([]Polic
 // crashes mid-run, producing the time series behind the availability
 // claim (rendered with Figure.Chart in cmd/experiments).
 func FailoverTimeline(tr *trace.Trace, nodes, failNode int) (Figure, error) {
-	cfg := server.DefaultConfig(server.L2SServer, nodes)
-	cfg.FailNode = failNode
-	cfg.FailAtFrac = 0.5
-	cfg.TimelineBucket = 0.25
+	const bucket = 0.25
+	cfg := server.NewConfig(server.L2SServer, nodes,
+		server.WithFailure(failNode, 0.5),
+		server.WithTimelineBucket(bucket))
 	r, err := server.Run(cfg, tr)
 	if err != nil {
 		return Figure{}, err
@@ -269,7 +295,7 @@ func FailoverTimeline(tr *trace.Trace, nodes, failNode int) (Figure, error) {
 	vals := make([]float64, len(r.Timeline))
 	copy(vals, r.Timeline)
 	for i := range vals {
-		fig.X = append(fig.X, float64(i)*cfg.TimelineBucket)
+		fig.X = append(fig.X, float64(i)*bucket)
 	}
 	fig.Series = []Series{{Label: "l2s", Values: vals}}
 	return fig, nil
@@ -280,22 +306,19 @@ func FailoverTimeline(tr *trace.Trace, nodes, failNode int) (Figure, error) {
 // discusses, and L2S. The dispatcher escapes the accept/parse ceiling but
 // keeps a central chokepoint; the paper's argument — "L2S has none of
 // these problems" — shows up as the ordering of the three columns.
-func Section6Study(tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
-	var rows []PolicyRow
-	for _, sys := range []server.System{server.LARDServer, server.LARDDispatcher, server.L2SServer} {
-		cfg := server.DefaultConfig(sys, nodes)
-		r, err := server.Run(cfg, tr)
-		if err != nil {
-			return nil, "", err
+func Section6Study(p *runner.Pool, tr *trace.Trace, nodes int) ([]PolicyRow, string, error) {
+	sys := []server.System{server.LARDServer, server.LARDDispatcher, server.L2SServer}
+	jobs := make([]runner.Job, len(sys))
+	for i, s := range sys {
+		jobs[i] = runner.Job{
+			Key:    fmt.Sprintf("section6/%s", s),
+			Config: server.NewConfig(s, nodes),
+			Trace:  tr,
 		}
-		rows = append(rows, PolicyRow{
-			Policy:     r.System,
-			Throughput: r.Throughput,
-			MissRate:   r.MissRate,
-			Forwarded:  r.ForwardedFrac,
-			Imbalance:  r.LoadImbalance,
-			CPUIdle:    r.CPUIdle,
-		})
+	}
+	rows, err := runRows(p, jobs, func(_ int, r server.Result) string { return r.System })
+	if err != nil {
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "section 6: front-end LARD vs dispatcher LARD vs L2S (%s, %d nodes)\n", tr.Name, nodes)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -28,105 +29,85 @@ func renderSensitivity(title string, rows []SensitivityResult) string {
 	return b.String()
 }
 
-func runVariant(tr *trace.Trace, nodes int, variant string, mutate func(*server.Config)) (SensitivityResult, error) {
-	cfg := server.DefaultConfig(server.L2SServer, nodes)
-	mutate(&cfg)
-	r, err := server.Run(cfg, tr)
-	if err != nil {
-		return SensitivityResult{}, err
-	}
-	return SensitivityResult{
-		Variant:    variant,
-		Throughput: r.Throughput,
-		MissRate:   r.MissRate,
-		Forwarded:  r.ForwardedFrac,
-		Messages:   r.ControlMessages,
-	}, nil
+// sensitivityVariant is one grid point of the ablation: a group, a label,
+// and the configuration delta it applies on top of the paper's L2S setup.
+type sensitivityVariant struct {
+	group, name string
+	opt         server.Option
 }
+
+// noop leaves the paper's configuration untouched.
+func noop(*server.Config) {}
 
 // L2SSensitivity reproduces the Section 5.2 summary — "the performance of
 // L2S is only slightly affected by reasonable parameters of frequency of
 // broadcasts, messaging overhead, and network latency and bandwidth" — and
 // the design-choice ablations called out in DESIGN.md (gossip staleness,
-// thresholds, saturation window).
-func L2SSensitivity(tr *trace.Trace, nodes int) (map[string][]SensitivityResult, string, error) {
-	out := make(map[string][]SensitivityResult)
-	var b strings.Builder
+// thresholds, saturation window). All variants across all groups form one
+// flat grid executed by the pool.
+func L2SSensitivity(p *runner.Pool, tr *trace.Trace, nodes int) (map[string][]SensitivityResult, string, error) {
+	groups := []string{"broadcast-delta", "messaging-overhead", "network",
+		"staleness", "thresholds", "window"}
+	variants := []sensitivityVariant{
+		{"broadcast-delta", "delta=1", func(c *server.Config) { c.L2S.BroadcastDelta = 1 }},
+		{"broadcast-delta", "delta=2", func(c *server.Config) { c.L2S.BroadcastDelta = 2 }},
+		{"broadcast-delta", "delta=4 (paper)", noop},
+		{"broadcast-delta", "delta=8", func(c *server.Config) { c.L2S.BroadcastDelta = 8 }},
+		{"broadcast-delta", "delta=16", func(c *server.Config) { c.L2S.BroadcastDelta = 16 }},
 
-	sweep := func(group string, variants []struct {
-		name string
-		mut  func(*server.Config)
-	}) error {
-		for _, v := range variants {
-			r, err := runVariant(tr, nodes, v.name, v.mut)
-			if err != nil {
-				return err
-			}
-			out[group] = append(out[group], r)
+		{"messaging-overhead", "0.5x", func(c *server.Config) { c.Net.MsgCPU /= 2; c.Net.MsgNI /= 2 }},
+		{"messaging-overhead", "1x (paper)", noop},
+		{"messaging-overhead", "2x", func(c *server.Config) { c.Net.MsgCPU *= 2; c.Net.MsgNI *= 2 }},
+		{"messaging-overhead", "4x", func(c *server.Config) { c.Net.MsgCPU *= 4; c.Net.MsgNI *= 4 }},
+
+		{"network", "1us switch (paper)", noop},
+		{"network", "10us switch", func(c *server.Config) { c.Net.SwitchLatency = 10e-6 }},
+		{"network", "100us switch", func(c *server.Config) { c.Net.SwitchLatency = 100e-6 }},
+		{"network", "half bandwidth", func(c *server.Config) { c.Net.LinkKBps /= 2 }},
+		{"network", "quarter bandwidth", func(c *server.Config) { c.Net.LinkKBps /= 4 }},
+
+		{"staleness", "gossip (paper)", noop},
+		{"staleness", "oracle loads", func(c *server.Config) { c.L2S.Oracle = true }},
+
+		{"thresholds", "T=10 t=5", func(c *server.Config) { c.L2S.T = 10; c.L2S.LowT = 5 }},
+		{"thresholds", "T=20 t=10 (paper)", noop},
+		{"thresholds", "T=40 t=20", func(c *server.Config) { c.L2S.T = 40; c.L2S.LowT = 20 }},
+		{"thresholds", "T=80 t=40", func(c *server.Config) { c.L2S.T = 80; c.L2S.LowT = 40 }},
+
+		{"window", "w=6", func(c *server.Config) { c.WindowPerNode = 6 }},
+		{"window", "w=12 (default)", noop},
+		{"window", "w=18", func(c *server.Config) { c.WindowPerNode = 18 }},
+		{"window", "w=24", func(c *server.Config) { c.WindowPerNode = 24 }},
+	}
+
+	jobs := make([]runner.Job, len(variants))
+	for i, v := range variants {
+		jobs[i] = runner.Job{
+			Key:    "sensitivity/" + v.group + "/" + v.name,
+			Config: server.NewConfig(server.L2SServer, nodes, v.opt),
+			Trace:  tr,
 		}
-		b.WriteString(renderSensitivity("sensitivity/"+group, out[group]))
-		return nil
 	}
 
-	type variant = struct {
-		name string
-		mut  func(*server.Config)
+	out := make(map[string][]SensitivityResult)
+	for i, jr := range p.Run(jobs) {
+		if jr.Err != nil {
+			return nil, "", fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
+		}
+		v := variants[i]
+		out[v.group] = append(out[v.group], SensitivityResult{
+			Variant:    v.name,
+			Throughput: jr.Result.Throughput,
+			MissRate:   jr.Result.MissRate,
+			Forwarded:  jr.Result.ForwardedFrac,
+			Messages:   jr.Result.ControlMessages,
+		})
 	}
 
-	if err := sweep("broadcast-delta", []variant{
-		{"delta=1", func(c *server.Config) { c.L2S.BroadcastDelta = 1 }},
-		{"delta=2", func(c *server.Config) { c.L2S.BroadcastDelta = 2 }},
-		{"delta=4 (paper)", func(c *server.Config) {}},
-		{"delta=8", func(c *server.Config) { c.L2S.BroadcastDelta = 8 }},
-		{"delta=16", func(c *server.Config) { c.L2S.BroadcastDelta = 16 }},
-	}); err != nil {
-		return nil, "", err
+	var b strings.Builder
+	for _, g := range groups {
+		b.WriteString(renderSensitivity("sensitivity/"+g, out[g]))
 	}
-
-	if err := sweep("messaging-overhead", []variant{
-		{"0.5x", func(c *server.Config) { c.Net.MsgCPU /= 2; c.Net.MsgNI /= 2 }},
-		{"1x (paper)", func(c *server.Config) {}},
-		{"2x", func(c *server.Config) { c.Net.MsgCPU *= 2; c.Net.MsgNI *= 2 }},
-		{"4x", func(c *server.Config) { c.Net.MsgCPU *= 4; c.Net.MsgNI *= 4 }},
-	}); err != nil {
-		return nil, "", err
-	}
-
-	if err := sweep("network", []variant{
-		{"1us switch (paper)", func(c *server.Config) {}},
-		{"10us switch", func(c *server.Config) { c.Net.SwitchLatency = 10e-6 }},
-		{"100us switch", func(c *server.Config) { c.Net.SwitchLatency = 100e-6 }},
-		{"half bandwidth", func(c *server.Config) { c.Net.LinkKBps /= 2 }},
-		{"quarter bandwidth", func(c *server.Config) { c.Net.LinkKBps /= 4 }},
-	}); err != nil {
-		return nil, "", err
-	}
-
-	if err := sweep("staleness", []variant{
-		{"gossip (paper)", func(c *server.Config) {}},
-		{"oracle loads", func(c *server.Config) { c.L2S.Oracle = true }},
-	}); err != nil {
-		return nil, "", err
-	}
-
-	if err := sweep("thresholds", []variant{
-		{"T=10 t=5", func(c *server.Config) { c.L2S.T = 10; c.L2S.LowT = 5 }},
-		{"T=20 t=10 (paper)", func(c *server.Config) {}},
-		{"T=40 t=20", func(c *server.Config) { c.L2S.T = 40; c.L2S.LowT = 20 }},
-		{"T=80 t=40", func(c *server.Config) { c.L2S.T = 80; c.L2S.LowT = 40 }},
-	}); err != nil {
-		return nil, "", err
-	}
-
-	if err := sweep("window", []variant{
-		{"w=6", func(c *server.Config) { c.WindowPerNode = 6 }},
-		{"w=12 (default)", func(c *server.Config) {}},
-		{"w=18", func(c *server.Config) { c.WindowPerNode = 18 }},
-		{"w=24", func(c *server.Config) { c.WindowPerNode = 24 }},
-	}); err != nil {
-		return nil, "", err
-	}
-
 	return out, b.String(), nil
 }
 
@@ -136,10 +117,26 @@ func L2SSensitivity(tr *trace.Trace, nodes int) (map[string][]SensitivityResult,
 // "for some of our traces, the throughput of the traditional server becomes
 // higher than that of the LARD server for larger memories (128 MB) and
 // numbers of nodes (8 or more)".
-func MemoryScaling(tr *trace.Trace, nodes []int) ([]Figure, string, error) {
+func MemoryScaling(p *runner.Pool, tr *trace.Trace, nodes []int) ([]Figure, string, error) {
+	mems := []int64{32 << 20, 128 << 20}
+	var jobs []runner.Job
+	for _, mem := range mems {
+		for _, sys := range systems {
+			for _, n := range nodes {
+				jobs = append(jobs, runner.Job{
+					Key:    fmt.Sprintf("memory/%dmb/%s/n=%d", mem>>20, sys, n),
+					Config: server.NewConfig(sys, n, server.WithCacheBytes(mem)),
+					Trace:  tr,
+				})
+			}
+		}
+	}
+	results := p.Run(jobs)
+
 	var figs []Figure
 	var b strings.Builder
-	for _, mem := range []int64{32 << 20, 128 << 20} {
+	idx := 0
+	for _, mem := range mems {
 		fig := Figure{
 			ID:     fmt.Sprintf("memory-%dmb-%s", mem>>20, tr.Name),
 			Title:  fmt.Sprintf("throughputs for %s with %d MB caches", tr.Name, mem>>20),
@@ -149,14 +146,13 @@ func MemoryScaling(tr *trace.Trace, nodes []int) ([]Figure, string, error) {
 		}
 		for _, sys := range systems {
 			var vals []float64
-			for _, n := range nodes {
-				cfg := server.DefaultConfig(sys, n)
-				cfg.CacheBytes = mem
-				r, err := server.Run(cfg, tr)
-				if err != nil {
-					return nil, "", err
+			for range nodes {
+				jr := results[idx]
+				idx++
+				if jr.Err != nil {
+					return nil, "", fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
 				}
-				vals = append(vals, r.Throughput)
+				vals = append(vals, jr.Result.Throughput)
 			}
 			fig.Series = append(fig.Series, Series{Label: sys.String(), Values: vals})
 		}
@@ -169,9 +165,7 @@ func MemoryScaling(tr *trace.Trace, nodes []int) ([]Figure, string, error) {
 // FailoverStudy quantifies the availability claim of Section 4: crash one
 // node mid-run and compare how much service survives under L2S (any node)
 // versus LARD (the front-end).
-func FailoverStudy(tr *trace.Trace, nodes int) (string, error) {
-	var b strings.Builder
-	b.WriteString("failover: one node crashes halfway through the run\n")
+func FailoverStudy(p *runner.Pool, tr *trace.Trace, nodes int) (string, error) {
 	cases := []struct {
 		name string
 		sys  server.System
@@ -181,17 +175,24 @@ func FailoverStudy(tr *trace.Trace, nodes int) (string, error) {
 		{"lard, back-end 3 fails", server.LARDServer, 3},
 		{"lard, front-end fails", server.LARDServer, 0},
 	}
-	for _, c := range cases {
-		cfg := server.DefaultConfig(c.sys, nodes)
-		cfg.FailNode = c.fail
-		cfg.FailAtFrac = 0.5
-		r, err := server.Run(cfg, tr)
-		if err != nil {
-			return "", err
+	jobs := make([]runner.Job, len(cases))
+	for i, c := range cases {
+		jobs[i] = runner.Job{
+			Key:    "failover/" + c.name,
+			Config: server.NewConfig(c.sys, nodes, server.WithFailure(c.fail, 0.5)),
+			Trace:  tr,
 		}
+	}
+	var b strings.Builder
+	b.WriteString("failover: one node crashes halfway through the run\n")
+	for i, jr := range p.Run(jobs) {
+		if jr.Err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
+		}
+		r := jr.Result
 		served := float64(r.Completed) / float64(r.Completed+r.Aborted) * 100
 		fmt.Fprintf(&b, "  %-26s served=%5.1f%%  aborted=%d  throughput=%.0f\n",
-			c.name, served, r.Aborted, r.Throughput)
+			cases[i].name, served, r.Aborted, r.Throughput)
 	}
 	return b.String(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
@@ -47,17 +48,24 @@ func RunWorkload(tr *trace.Trace, opts Options) (*TraceRun, error) {
 		Nodes:   opts.Nodes,
 		Results: make(map[string][]server.Result),
 	}
+	var jobs []runner.Job
 	for _, n := range opts.Nodes {
 		run.Model = append(run.Model, modelBound(curve, run.Char, n, opts))
 		for _, sys := range systems {
-			cfg := server.DefaultConfig(sys, n)
-			cfg.CacheBytes = opts.CacheBytes
-			r, err := server.Run(cfg, tr)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on %d nodes: %w", sys, n, err)
-			}
-			run.Results[r.System] = append(run.Results[r.System], r)
+			jobs = append(jobs, runner.Job{
+				Key:    fmt.Sprintf("%s/%s/n=%d", tr.Name, sys, n),
+				Config: server.NewConfig(sys, n, server.WithCacheBytes(opts.CacheBytes)),
+				Trace:  tr,
+			})
 		}
+	}
+	// Submission order is (node, system)-major, so reassembling in that
+	// order rebuilds each per-system slice aligned with opts.Nodes.
+	for _, jr := range opts.Pool().Run(jobs) {
+		if jr.Err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
+		}
+		run.Results[jr.Result.System] = append(run.Results[jr.Result.System], jr.Result)
 	}
 	return run, nil
 }

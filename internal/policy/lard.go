@@ -25,6 +25,14 @@ func DefaultLARDOptions() LARDOptions {
 	return LARDOptions{TLow: 25, THigh: 65, ShrinkAfter: 20, UpdateBatch: 4, Replication: true}
 }
 
+// Validate reports option errors.
+func (o LARDOptions) Validate() error {
+	if o.TLow <= 0 || o.THigh < o.TLow {
+		return fmt.Errorf("policy: bad LARD thresholds %+v", o)
+	}
+	return nil
+}
+
 // LARD implements the Locality-Aware Request Distribution server of Pai et
 // al. as simulated in the paper: node 0 is a dedicated front-end that
 // accepts, parses, and hands off every request to a back-end chosen by the
@@ -53,8 +61,8 @@ type lardSet struct {
 
 // NewLARD builds the LARD policy.
 func NewLARD(env Env, opts LARDOptions) *LARD {
-	if opts.TLow <= 0 || opts.THigh < opts.TLow {
-		panic(fmt.Sprintf("policy: bad LARD thresholds %+v", opts))
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
 	}
 	n := env.N()
 	var backends []int

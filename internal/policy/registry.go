@@ -1,0 +1,158 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options carries every tunable a registered policy constructor may need.
+// The zero value selects the published defaults for each policy, so callers
+// only set the fields they care about.
+type Options struct {
+	// LARD configures the lard, lard-basic, and lard-dispatch policies.
+	// The zero value selects DefaultLARDOptions.
+	LARD LARDOptions
+
+	// DispatchQuerySec is the dispatcher CPU time per decision query for
+	// lard-dispatch; zero or negative selects the calibrated 100 us.
+	DispatchQuerySec float64
+
+	// Seed drives the random policy; zero selects the historical seed 7.
+	Seed int64
+
+	// DNSTTL is the cached-dns policy's requests per cached translation;
+	// zero or negative selects 50.
+	DNSTTL int
+
+	// L2S carries core.Options for the l2s policy. It is declared any
+	// because package core builds on this package (core cannot be imported
+	// from here); core's registration asserts the concrete type. nil
+	// selects core.DefaultOptions.
+	L2S any
+}
+
+// lard returns the LARD options with the zero value replaced by the
+// published defaults.
+func (o Options) lard() LARDOptions {
+	if o.LARD == (LARDOptions{}) {
+		return DefaultLARDOptions()
+	}
+	return o.LARD
+}
+
+// Factory builds one distributor over an environment. Factories must
+// validate their options and return an error rather than panic: sweeps
+// construct policies for machine-generated grid points.
+type Factory func(env Env, opts Options) (Distributor, error)
+
+var registry = struct {
+	sync.RWMutex
+	factories map[string]Factory
+	aliases   map[string]string
+}{
+	factories: make(map[string]Factory),
+	aliases:   make(map[string]string),
+}
+
+// Register adds a named policy constructor to the registry. It panics on a
+// duplicate name; registration happens from package init functions, so a
+// collision is a programming error.
+func Register(name string, f Factory) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q", name))
+	}
+	registry.factories[name] = f
+}
+
+// RegisterAlias makes alias resolve to the policy registered under name.
+// Aliases are accepted by New but not listed by Names.
+func RegisterAlias(alias, name string) {
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.factories[alias]; dup {
+		panic(fmt.Sprintf("policy: alias %q collides with a registered policy", alias))
+	}
+	registry.aliases[alias] = name
+}
+
+// New constructs the named distribution policy over env. Unknown names
+// return an error listing every valid one.
+func New(name string, env Env, opts Options) (Distributor, error) {
+	registry.RLock()
+	if target, ok := registry.aliases[name]; ok {
+		name = target
+	}
+	f, ok := registry.factories[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(env, opts)
+}
+
+// Names returns every registered policy name, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.factories))
+	for name := range registry.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("traditional", func(env Env, _ Options) (Distributor, error) {
+		return NewFewestConnections(env), nil
+	})
+	RegisterAlias("trad", "traditional")
+	Register("lard", func(env Env, o Options) (Distributor, error) {
+		l := o.lard()
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		return NewLARD(env, l), nil
+	})
+	Register("lard-basic", func(env Env, o Options) (Distributor, error) {
+		l := o.lard()
+		l.Replication = false
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		return NewLARD(env, l), nil
+	})
+	Register("lard-dispatch", func(env Env, o Options) (Distributor, error) {
+		l := o.lard()
+		if err := l.Validate(); err != nil {
+			return nil, err
+		}
+		query := o.DispatchQuerySec
+		if query <= 0 {
+			query = 0.0001
+		}
+		return NewDispatchLARD(env, l, query), nil
+	})
+	Register("hashing", func(env Env, _ Options) (Distributor, error) {
+		return NewHashing(env), nil
+	})
+	Register("random", func(env Env, o Options) (Distributor, error) {
+		seed := o.Seed
+		if seed == 0 {
+			seed = 7
+		}
+		return NewRandom(env, seed), nil
+	})
+	Register("cached-dns", func(env Env, o Options) (Distributor, error) {
+		ttl := o.DNSTTL
+		if ttl <= 0 {
+			ttl = 50
+		}
+		return NewCachedDNS(env, ttl), nil
+	})
+}

@@ -141,28 +141,29 @@ type Config struct {
 
 	// CustomPolicy builds the distributor when System == CustomServer.
 	CustomPolicy func(env policy.Env) policy.Distributor
+
+	// Policy, when non-empty, selects a registered distribution policy by
+	// name (see policy.Names) instead of the System's default; it takes
+	// precedence over System for distributor construction and is the
+	// CLI-facing route into the policy registry. CustomPolicy, when also
+	// set, wins over Policy.
+	Policy string
+
+	// Seed is the run's base RNG seed. It fills ArrivalSeed and
+	// PersistSeed when those are zero and seeds seedable policies (e.g.
+	// random); sweep runners derive it per job so grid points are
+	// reproducible independent of execution order.
+	Seed int64
+
+	// DNSTTL is the cached-dns policy's requests per cached translation
+	// (zero selects its default of 50).
+	DNSTTL int
 }
 
 // DefaultConfig returns the paper's simulation setup for the given system
-// and cluster size: 32 MB caches, Table 1 costs, M-VIA messaging, L2S with
-// T=20/t=10/delta=4, LARD with the published parameters, and a 5000
-// request/s front-end.
+// and cluster size; it is NewConfig with no options.
 func DefaultConfig(system System, nodes int) Config {
-	return Config{
-		System:           system,
-		Nodes:            nodes,
-		CacheBytes:       32 << 20,
-		Costs:            queuemodel.DefaultParams(),
-		Net:              netsim.DefaultConfig(),
-		L2S:              core.DefaultOptions(),
-		LARD:             policy.DefaultLARDOptions(),
-		FECostSec:        0.0002,
-		DispatchQuerySec: 0.0001,
-		WindowPerNode:    12,
-		WarmFraction:     0.4,
-		CPUChunkKB:       8,
-		FailNode:         -1,
-	}
+	return NewConfig(system, nodes)
 }
 
 // Validate reports configuration errors.
@@ -178,8 +179,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: warm fraction %v outside [0, 0.95]", c.WarmFraction)
 	case c.System == LARDServer && c.FECostSec <= 0:
 		return fmt.Errorf("server: LARD needs a positive front-end cost")
-	case c.System == CustomServer && c.CustomPolicy == nil:
-		return fmt.Errorf("server: CustomServer needs a CustomPolicy")
+	case c.System == CustomServer && c.CustomPolicy == nil && c.Policy == "":
+		return fmt.Errorf("server: CustomServer needs a CustomPolicy or a Policy name")
+	case c.Net.RouterKBps <= 0 || c.Net.LinkKBps <= 0:
+		return fmt.Errorf("server: network rates must be positive: %+v", c.Net)
 	case c.FailNode >= c.Nodes:
 		return fmt.Errorf("server: fail node %d outside cluster of %d", c.FailNode, c.Nodes)
 	case c.Persistent && c.ReqsPerConn < 1:
@@ -197,7 +200,42 @@ func (c Config) Validate() error {
 			}
 		}
 	}
+	// Bad policy tunables used to surface as constructor panics mid-run;
+	// validating them here lets one bad grid point fail with an error
+	// instead of killing a whole parallel sweep. Zero values are legal:
+	// construction replaces them with the published defaults.
+	if c.System == L2SServer && c.L2S != (core.Options{}) {
+		if err := c.L2S.Validate(); err != nil {
+			return err
+		}
+	}
+	if (c.System == LARDServer || c.System == LARDDispatcher) && c.LARD != (policy.LARDOptions{}) {
+		if err := c.LARD.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// policyName returns the registry name of the distributor this Config
+// selects: the explicit Policy override when set, the System's name
+// otherwise.
+func (c Config) policyName() string {
+	if c.Policy != "" {
+		return c.Policy
+	}
+	return c.System.String()
+}
+
+// policyOptions assembles the registry options from the Config's fields.
+func (c Config) policyOptions() policy.Options {
+	return policy.Options{
+		LARD:             c.LARD,
+		DispatchQuerySec: c.DispatchQuerySec,
+		Seed:             c.Seed,
+		DNSTTL:           c.DNSTTL,
+		L2S:              c.L2S,
+	}
 }
 
 // Result reports what one run measured (all statistics cover only the

@@ -57,10 +57,25 @@ type driver struct {
 }
 
 // Run simulates one configuration over a trace and reports the measured
-// results.
-func Run(cfg Config, tr *trace.Trace) (Result, error) {
+// results. It never panics: configuration errors — including ones the
+// model layers assert with panics — come back as errors, so one bad grid
+// point cannot kill a whole sweep.
+func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = Result{}, fmt.Errorf("server: %s on %d nodes: %v", cfg.policyName(), cfg.Nodes, r)
+		}
+	}()
 	if cfg.Persistent && cfg.ReqsPerConn == 0 {
 		cfg.ReqsPerConn = 7
+	}
+	if cfg.Seed != 0 {
+		if cfg.ArrivalSeed == 0 {
+			cfg.ArrivalSeed = cfg.Seed
+		}
+		if cfg.PersistSeed == 0 {
+			cfg.PersistSeed = cfg.Seed
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
@@ -94,19 +109,14 @@ func Run(cfg Config, tr *trace.Trace) (Result, error) {
 		d.nodes[i] = cluster.NewNode(d.eng, i, cfg.CacheBytes)
 	}
 
-	switch cfg.System {
-	case Traditional:
-		d.dist = policy.NewFewestConnections(d)
-	case LARDServer:
-		d.dist = policy.NewLARD(d, cfg.LARD)
-	case LARDDispatcher:
-		d.dist = policy.NewDispatchLARD(d, cfg.LARD, cfg.DispatchQuerySec)
-	case L2SServer:
-		d.dist = core.New(d, cfg.L2S)
-	case CustomServer:
+	if cfg.System == CustomServer && cfg.CustomPolicy != nil {
 		d.dist = cfg.CustomPolicy(d)
-	default:
-		return Result{}, fmt.Errorf("server: unknown system %v", cfg.System)
+	} else {
+		dist, err := policy.New(cfg.policyName(), d, cfg.policyOptions())
+		if err != nil {
+			return Result{}, fmt.Errorf("server: %w", err)
+		}
+		d.dist = dist
 	}
 
 	d.warmIdx = int(cfg.WarmFraction * float64(tr.NumRequests()))
