@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race fmt vet bench
+.PHONY: all build test check race fmt vet bench bench-hot bench-json
 
 all: build
 
@@ -27,9 +27,19 @@ check: fmt vet build test
 
 # race exercises the deterministic sweep runner and the simulator under the
 # race detector — the parallel-equals-sequential guarantee is only as good
-# as its synchronization.
+# as its synchronization — plus the pooled simulation core.
 race:
-	$(GO) test -race ./internal/runner/... ./internal/server/...
+	$(GO) test -race ./internal/sim/... ./internal/cache/... ./internal/runner/... ./internal/server/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-hot runs the allocation-tracked hot-path microbenchmarks (event
+# calendar, FCFS resource, LRU, end-to-end server.Run) at full benchtime.
+bench-hot:
+	$(GO) test ./internal/perf -bench=. -run=^$$
+
+# bench-json regenerates the committed hot-path baseline that future
+# performance PRs diff against.
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_simcore.json

@@ -10,11 +10,18 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/perf"
 	"repro/internal/queuemodel"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
 )
+
+// BenchmarkSimCoreServerRun surfaces the allocation-tracked end-to-end
+// hot-path benchmark in the top-level suite; the full hot-path set lives in
+// internal/perf and its committed baseline in BENCH_simcore.json (run
+// `make bench-json` to regenerate, `make bench-hot` to inspect).
+func BenchmarkSimCoreServerRun(b *testing.B) { perf.ServerRun(b) }
 
 // benchPool is the sweep executor the study benches share. Workers=0 uses
 // every core; results are identical to sequential, so the reported metrics

@@ -1,0 +1,80 @@
+// Command benchjson runs the simulator's hot-path microbenchmarks
+// in-process (via testing.Benchmark) and writes a machine-readable baseline
+// so performance PRs can diff against a committed reference.
+//
+// Usage:
+//
+//	benchjson [-o BENCH_simcore.json] [-count 3]
+//
+// Each benchmark runs count times and the fastest run is kept, which damps
+// scheduler noise in the committed baseline. The output maps benchmark name
+// to ns/op, B/op, allocs/op, and — for request-shaped benchmarks —
+// wall-clock requests per second.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	ReqsPerSec  float64 `json:"reqs_per_sec,omitempty"`
+	Iterations  int     `json:"iterations"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_simcore.json", "output file (- for stdout)")
+	count := flag.Int("count", 3, "runs per benchmark (fastest is kept)")
+	flag.Parse()
+
+	entries := make(map[string]Entry)
+	for _, bench := range perf.Benchmarks() {
+		var best Entry
+		for i := 0; i < *count; i++ {
+			res := testing.Benchmark(bench.Fn)
+			e := Entry{
+				NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				Iterations:  res.N,
+			}
+			if i == 0 || e.NsPerOp < best.NsPerOp {
+				best = e
+			}
+		}
+		if bench.Requests > 0 && best.NsPerOp > 0 {
+			best.ReqsPerSec = float64(bench.Requests) * 1e9 / best.NsPerOp
+		}
+		entries[bench.Name] = best
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %10d B/op %8d allocs/op\n",
+			bench.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
+	}
+
+	buf, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -5,10 +5,15 @@
 // The cache does not store file contents (the simulator only needs hits and
 // misses); it tracks identities and sizes, charges capacity in bytes, and
 // keeps hit/miss/eviction statistics.
+//
+// The recency list is intrusive: entries live in one slice linked by int32
+// prev/next indices with a free list, so hits, inserts, and evictions move
+// no memory and allocate nothing once the entry pool has grown to the
+// cache's high-water mark. Under the Zipf-like streams of the paper this is
+// the hottest data structure in the simulator after the event calendar.
 package cache
 
 import (
-	"container/list"
 	"fmt"
 
 	"repro/internal/stats"
@@ -18,23 +23,34 @@ import (
 // index).
 type FileID int32
 
+// none marks the absence of a neighbor or free entry in the intrusive list.
+const none int32 = -1
+
+// entry is one resident file inside the pooled recency list.
+type entry struct {
+	id   FileID
+	size int64
+	prev int32 // toward the MRU end; free-list link while unused
+	next int32 // toward the LRU end
+}
+
 // LRU is a least-recently-used file cache with a byte capacity.
 type LRU struct {
 	capacity int64
 	used     int64
-	order    *list.List // front = most recently used
-	items    map[FileID]*list.Element
+	entries  []entry
+	freeHead int32
+	head     int32 // most recently used, none when empty
+	tail     int32 // least recently used, none when empty
+	items    map[FileID]int32
 
-	hits      stats.Ratio
-	evictions uint64
+	hits          stats.Ratio
+	evictions     uint64 // capacity evictions only
+	invalidations uint64 // explicit Evict calls that removed a file
 
-	// OnEvict, when non-nil, is called for every evicted file.
+	// OnEvict, when non-nil, is called for every removal — capacity
+	// evictions and explicit invalidations alike.
 	OnEvict func(id FileID, size int64)
-}
-
-type entry struct {
-	id   FileID
-	size int64
 }
 
 // NewLRU returns an empty cache holding at most capacity bytes.
@@ -44,8 +60,10 @@ func NewLRU(capacity int64) *LRU {
 	}
 	return &LRU{
 		capacity: capacity,
-		order:    list.New(),
-		items:    make(map[FileID]*list.Element),
+		freeHead: none,
+		head:     none,
+		tail:     none,
+		items:    make(map[FileID]int32),
 	}
 }
 
@@ -87,8 +105,8 @@ func (c *LRU) touch(id FileID, size int64) bool {
 	if size < 0 {
 		panic(fmt.Sprintf("cache: negative size %d for file %d", size, id))
 	}
-	if el, ok := c.items[id]; ok {
-		c.order.MoveToFront(el)
+	if i, ok := c.items[id]; ok {
+		c.moveToFront(i)
 		return true
 	}
 	if size > c.capacity {
@@ -97,40 +115,105 @@ func (c *LRU) touch(id FileID, size int64) bool {
 	for c.used+size > c.capacity {
 		c.evictOldest()
 	}
-	el := c.order.PushFront(entry{id: id, size: size})
-	c.items[id] = el
+	i := c.alloc()
+	e := &c.entries[i]
+	e.id = id
+	e.size = size
+	c.pushFront(i)
+	c.items[id] = i
 	c.used += size
 	return false
 }
 
 // Evict removes the file if cached, returning whether it was present. The
-// OnEvict callback fires as for capacity evictions.
+// OnEvict callback fires as for capacity evictions, but the removal is
+// counted as an invalidation, not an eviction: Evictions measures capacity
+// pressure only.
 func (c *LRU) Evict(id FileID) bool {
-	el, ok := c.items[id]
+	i, ok := c.items[id]
 	if !ok {
 		return false
 	}
-	c.remove(el)
+	c.invalidations++
+	c.remove(i)
 	return true
 }
 
 func (c *LRU) evictOldest() {
-	el := c.order.Back()
-	if el == nil {
+	if c.tail == none {
 		panic("cache: eviction from empty cache (size accounting bug)")
 	}
-	c.remove(el)
+	c.evictions++
+	c.remove(c.tail)
 }
 
-func (c *LRU) remove(el *list.Element) {
-	e := el.Value.(entry)
-	c.order.Remove(el)
-	delete(c.items, e.id)
-	c.used -= e.size
-	c.evictions++
+// remove unlinks entry i, releases its slot, and fires OnEvict. The caller
+// has already counted the removal as an eviction or an invalidation.
+func (c *LRU) remove(i int32) {
+	e := &c.entries[i]
+	id, size := e.id, e.size
+	c.unlink(i)
+	c.freeEntry(i)
+	delete(c.items, id)
+	c.used -= size
 	if c.OnEvict != nil {
-		c.OnEvict(e.id, e.size)
+		c.OnEvict(id, size)
 	}
+}
+
+// alloc takes an entry slot from the free list, growing the pool when the
+// list is empty.
+func (c *LRU) alloc() int32 {
+	if c.freeHead != none {
+		i := c.freeHead
+		c.freeHead = c.entries[i].prev
+		return i
+	}
+	c.entries = append(c.entries, entry{})
+	return int32(len(c.entries) - 1)
+}
+
+func (c *LRU) freeEntry(i int32) {
+	c.entries[i].prev = c.freeHead
+	c.freeHead = i
+}
+
+// pushFront links entry i in as the most recently used.
+func (c *LRU) pushFront(i int32) {
+	e := &c.entries[i]
+	e.prev = none
+	e.next = c.head
+	if c.head != none {
+		c.entries[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == none {
+		c.tail = i
+	}
+}
+
+// unlink removes entry i from the recency list without freeing its slot.
+func (c *LRU) unlink(i int32) {
+	e := &c.entries[i]
+	if e.prev != none {
+		c.entries[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != none {
+		c.entries[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+// moveToFront refreshes entry i to most recently used.
+func (c *LRU) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // HitRate returns the hit fraction since the last ResetStats.
@@ -139,21 +222,31 @@ func (c *LRU) HitRate() float64 { return c.hits.Value() }
 // Stats returns the raw hit/total counters.
 func (c *LRU) Stats() stats.Ratio { return c.hits }
 
-// Evictions returns the number of evictions since the last ResetStats.
+// Evictions returns the number of capacity evictions since the last
+// ResetStats; explicit Evict calls are counted by Invalidations.
 func (c *LRU) Evictions() uint64 { return c.evictions }
+
+// Invalidations returns the number of files removed by explicit Evict calls
+// since the last ResetStats.
+func (c *LRU) Invalidations() uint64 { return c.invalidations }
 
 // ResetStats zeroes hit/miss/eviction counters, preserving cache contents;
 // call it at the end of warm-up.
 func (c *LRU) ResetStats() {
 	c.hits = stats.Ratio{}
 	c.evictions = 0
+	c.invalidations = 0
 }
 
 // MostRecent returns up to n most-recently-used file ids, for diagnostics.
+// A non-positive n yields an empty slice.
 func (c *LRU) MostRecent(n int) []FileID {
+	if n < 0 {
+		n = 0
+	}
 	out := make([]FileID, 0, n)
-	for el := c.order.Front(); el != nil && len(out) < n; el = el.Next() {
-		out = append(out, el.Value.(entry).id)
+	for i := c.head; i != none && len(out) < n; i = c.entries[i].next {
+		out = append(out, c.entries[i].id)
 	}
 	return out
 }

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"container/list"
+	"math/rand"
+	"testing"
+)
+
+// listLRU is a reference LRU built on container/list — the implementation
+// the intrusive cache replaced. The differential test drives both with the
+// same randomized Zipf-like stream and demands identical observable
+// behavior, event by event.
+type listLRU struct {
+	capacity int64
+	used     int64
+	order    *list.List
+	items    map[FileID]*list.Element
+	onEvict  func(id FileID, size int64)
+}
+
+type listEntry struct {
+	id   FileID
+	size int64
+}
+
+func newListLRU(capacity int64) *listLRU {
+	return &listLRU{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[FileID]*list.Element),
+	}
+}
+
+func (c *listLRU) access(id FileID, size int64) bool {
+	if el, ok := c.items[id]; ok {
+		c.order.MoveToFront(el)
+		return true
+	}
+	if size > c.capacity {
+		return false
+	}
+	for c.used+size > c.capacity {
+		c.remove(c.order.Back())
+	}
+	c.items[id] = c.order.PushFront(listEntry{id: id, size: size})
+	c.used += size
+	return false
+}
+
+func (c *listLRU) evict(id FileID) bool {
+	el, ok := c.items[id]
+	if !ok {
+		return false
+	}
+	c.remove(el)
+	return true
+}
+
+func (c *listLRU) remove(el *list.Element) {
+	e := el.Value.(listEntry)
+	c.order.Remove(el)
+	delete(c.items, e.id)
+	c.used -= e.size
+	if c.onEvict != nil {
+		c.onEvict(e.id, e.size)
+	}
+}
+
+func (c *listLRU) mostRecent(n int) []FileID {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]FileID, 0, n)
+	for el := c.order.Front(); el != nil && len(out) < n; el = el.Next() {
+		out = append(out, el.Value.(listEntry).id)
+	}
+	return out
+}
+
+// zipfStream returns a skewed access stream: ids drawn Zipf-like over a
+// catalog with per-file stable sizes, mimicking the paper's workloads.
+func zipfStream(rng *rand.Rand, files, accesses int) ([]FileID, []int64) {
+	z := rand.NewZipf(rng, 1.2, 1, uint64(files-1))
+	sizes := make([]int64, files)
+	for i := range sizes {
+		sizes[i] = int64(rng.Intn(40<<10) + 512)
+	}
+	ids := make([]FileID, accesses)
+	szs := make([]int64, accesses)
+	for i := range ids {
+		id := FileID(z.Uint64())
+		ids[i] = id
+		szs[i] = sizes[id]
+	}
+	return ids, szs
+}
+
+// TestDifferentialAgainstListLRU drives the intrusive LRU and the
+// container/list reference with the same randomized Zipf stream —
+// including explicit invalidations — and asserts identical hit/miss
+// results, identical eviction sequences (via OnEvict), identical
+// MostRecent order, and identical byte accounting at every step.
+func TestDifferentialAgainstListLRU(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := int64(rng.Intn(512<<10) + 32<<10)
+		got := NewLRU(capacity)
+		want := newListLRU(capacity)
+
+		var gotEvicts, wantEvicts []FileID
+		got.OnEvict = func(id FileID, size int64) { gotEvicts = append(gotEvicts, id) }
+		want.onEvict = func(id FileID, size int64) { wantEvicts = append(wantEvicts, id) }
+
+		ids, sizes := zipfStream(rng, 200, 4000)
+		for i, id := range ids {
+			if rng.Intn(16) == 0 {
+				victim := FileID(rng.Intn(200))
+				if got.Evict(victim) != want.evict(victim) {
+					t.Fatalf("seed %d step %d: Evict(%d) diverged", seed, i, victim)
+				}
+			}
+			g, w := got.Access(id, sizes[i]), want.access(id, sizes[i])
+			if g != w {
+				t.Fatalf("seed %d step %d: Access(%d) = %v, reference %v", seed, i, id, g, w)
+			}
+			if got.Used() != want.used || got.Len() != len(want.items) {
+				t.Fatalf("seed %d step %d: used/len %d/%d, reference %d/%d",
+					seed, i, got.Used(), got.Len(), want.used, len(want.items))
+			}
+			if len(gotEvicts) != len(wantEvicts) {
+				t.Fatalf("seed %d step %d: %d evictions, reference %d",
+					seed, i, len(gotEvicts), len(wantEvicts))
+			}
+		}
+		for i := range gotEvicts {
+			if gotEvicts[i] != wantEvicts[i] {
+				t.Fatalf("seed %d: eviction %d is %d, reference %d",
+					seed, i, gotEvicts[i], wantEvicts[i])
+			}
+		}
+		g, w := got.MostRecent(got.Len()), want.mostRecent(len(want.items))
+		if len(g) != len(w) {
+			t.Fatalf("seed %d: MostRecent lengths %d vs %d", seed, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("seed %d: MostRecent[%d] = %d, reference %d", seed, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+func TestEvictCountsAsInvalidationNotEviction(t *testing.T) {
+	c := NewLRU(100)
+	c.Access(1, 40)
+	c.Access(2, 40)
+	if !c.Evict(1) {
+		t.Fatal("Evict(1) should remove a present file")
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("Evictions = %d after explicit Evict, want 0", c.Evictions())
+	}
+	if c.Invalidations() != 1 {
+		t.Fatalf("Invalidations = %d, want 1", c.Invalidations())
+	}
+	c.Access(3, 40)
+	c.Access(4, 40) // capacity-evicts 2
+	if c.Evictions() != 1 {
+		t.Fatalf("Evictions = %d after capacity eviction, want 1", c.Evictions())
+	}
+	if c.Invalidations() != 1 {
+		t.Fatalf("Invalidations = %d, want 1 still", c.Invalidations())
+	}
+	c.ResetStats()
+	if c.Evictions() != 0 || c.Invalidations() != 0 {
+		t.Fatal("ResetStats must zero both counters")
+	}
+}
+
+func TestMostRecentNegativeN(t *testing.T) {
+	c := NewLRU(100)
+	c.Access(1, 10)
+	if got := c.MostRecent(-3); len(got) != 0 {
+		t.Fatalf("MostRecent(-3) = %v, want empty", got)
+	}
+	if got := c.MostRecent(0); len(got) != 0 {
+		t.Fatalf("MostRecent(0) = %v, want empty", got)
+	}
+}
+
+// TestPoolReuseKeepsOrder churns the cache through enough insert/evict
+// cycles that every pooled entry slot is recycled, then checks order again.
+func TestPoolReuseKeepsOrder(t *testing.T) {
+	c := NewLRU(100)
+	for round := 0; round < 50; round++ {
+		base := FileID(round * 10)
+		for i := FileID(0); i < 10; i++ {
+			c.Access(base+i, 10)
+		}
+	}
+	got := c.MostRecent(3)
+	want := []FileID{499, 498, 497}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("MostRecent after churn = %v, want %v", got, want)
+	}
+	if c.Used() != 100 || c.Len() != 10 {
+		t.Fatalf("Used/Len = %d/%d, want 100/10", c.Used(), c.Len())
+	}
+}

@@ -44,6 +44,43 @@ type Network struct {
 
 	messages     uint64 // intra-cluster messages sent
 	controlBytes float64
+
+	msgPool []*message // recycled in-flight message state
+}
+
+// message is the pooled state of one point-to-point Send: the five hops of
+// the M-VIA path run as pre-bound stage callbacks on this struct, so a
+// message in steady state allocates nothing. The stage funcs are method
+// values created once per pooled object.
+type message struct {
+	nw        *Network
+	from, to  *cluster.Node
+	wire      float64
+	delivered func()
+
+	afterFromCPU, afterFromNI, afterWire, afterToNI, finish func()
+}
+
+func (nw *Network) getMessage() *message {
+	if n := len(nw.msgPool); n > 0 {
+		m := nw.msgPool[n-1]
+		nw.msgPool = nw.msgPool[:n-1]
+		return m
+	}
+	m := &message{nw: nw}
+	m.afterFromCPU = func() { m.from.NIOut.Acquire(m.nw.cfg.MsgNI, m.afterFromNI) }
+	m.afterFromNI = func() { m.nw.eng.Schedule(m.wire, m.afterWire) }
+	m.afterWire = func() { m.to.NIIn.Acquire(m.nw.cfg.MsgNI, m.afterToNI) }
+	m.afterToNI = func() { m.to.CPU.Acquire(m.nw.cfg.MsgCPU, m.finish) }
+	m.finish = func() {
+		delivered := m.delivered
+		m.from, m.to, m.delivered = nil, nil, nil
+		m.nw.msgPool = append(m.nw.msgPool, m)
+		if delivered != nil {
+			delivered()
+		}
+	}
+	return m
 }
 
 // New builds the network. The router is a single shared service center.
@@ -81,16 +118,11 @@ func (nw *Network) Send(from, to *cluster.Node, kb float64, delivered func()) {
 	}
 	nw.messages++
 	nw.controlBytes += kb
-	wire := nw.cfg.SwitchLatency + kb/nw.cfg.LinkKBps
-	from.CPU.Acquire(nw.cfg.MsgCPU, func() {
-		from.NIOut.Acquire(nw.cfg.MsgNI, func() {
-			nw.eng.Schedule(wire, func() {
-				to.NIIn.Acquire(nw.cfg.MsgNI, func() {
-					to.CPU.Acquire(nw.cfg.MsgCPU, delivered)
-				})
-			})
-		})
-	})
+	m := nw.getMessage()
+	m.from, m.to = from, to
+	m.wire = nw.cfg.SwitchLatency + kb/nw.cfg.LinkKBps
+	m.delivered = delivered
+	from.CPU.Acquire(nw.cfg.MsgCPU, m.afterFromCPU)
 }
 
 // Broadcast sends the message from one node to every other live node

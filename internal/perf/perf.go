@@ -1,0 +1,181 @@
+// Package perf defines the simulator's hot-path microbenchmarks as plain
+// functions so they can run two ways: under `go test -bench` (see
+// perf_test.go) and in-process through testing.Benchmark from cmd/benchjson,
+// which writes the machine-readable BENCH_simcore.json baseline that future
+// performance PRs diff against.
+//
+// Every benchmark reports allocations: the simulation core is meant to be
+// allocation-free in steady state (pooled events, intrusive LRU), and these
+// numbers are the regression guard for that property.
+package perf
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Bench is one named hot-path benchmark. Requests is the number of
+// simulated requests one benchmark op completes (0 when the op is not
+// request-shaped); it converts ns/op into requests per wall-clock second.
+type Bench struct {
+	Name     string
+	Fn       func(b *testing.B)
+	Requests int
+}
+
+// Benchmarks returns the hot-path suite in a stable order.
+func Benchmarks() []Bench {
+	return []Bench{
+		{Name: "EngineScheduleFire", Fn: EngineScheduleFire},
+		{Name: "EngineScheduleFireDeep", Fn: EngineScheduleFireDeep},
+		{Name: "EngineCancel", Fn: EngineCancel},
+		{Name: "ResourceAcquire", Fn: ResourceAcquire},
+		{Name: "LRUAccess", Fn: LRUAccess},
+		{Name: "LRUAccessEvict", Fn: LRUAccessEvict},
+		{Name: "ServerRun", Fn: ServerRun, Requests: serverRunRequests},
+	}
+}
+
+func nop() {}
+
+// EngineScheduleFire measures one schedule plus one fire against an empty
+// calendar — the pool's steady-state round trip.
+func EngineScheduleFire(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, nop)
+		e.Step()
+	}
+}
+
+// EngineScheduleFireDeep measures the same round trip with 1024 events
+// pending, so each op pays a realistic sift through the heap.
+func EngineScheduleFireDeep(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]float64, 4096)
+	for i := range delays {
+		delays[i] = rng.Float64() * 10
+	}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(delays[i], nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(delays[i%len(delays)], nop)
+		e.Step()
+	}
+}
+
+// EngineCancel measures schedule+cancel churn: the cancelled event must be
+// reclaimed without firing and without leaking pool slots.
+func EngineCancel(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(1, nop)
+		e.Schedule(2, nop)
+		ev.Cancel()
+		e.Step()
+	}
+}
+
+// ResourceAcquire measures the FCFS service-center enqueue/complete cycle,
+// the single most frequent operation in a cluster run.
+func ResourceAcquire(b *testing.B) {
+	b.ReportAllocs()
+	e := sim.NewEngine()
+	r := sim.NewResource(e, "cpu", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(0.001, nil)
+		e.Step()
+	}
+}
+
+// lruStream is a fixed pseudo-Zipf access stream shared by the LRU benches.
+func lruStream() ([]cache.FileID, []int64) {
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]cache.FileID, 16384)
+	sizes := make([]int64, len(ids))
+	for i := range ids {
+		// Square a uniform draw to skew popularity toward low ids.
+		u := rng.Float64()
+		ids[i] = cache.FileID(u * u * 4096)
+		sizes[i] = int64(rng.Intn(64<<10) + 1<<10)
+	}
+	return ids, sizes
+}
+
+// LRUAccess measures the cache's hit/miss path with capacity evictions
+// under a skewed stream.
+func LRUAccess(b *testing.B) {
+	b.ReportAllocs()
+	ids, sizes := lruStream()
+	c := cache.NewLRU(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ids)
+		c.Access(ids[j], sizes[j])
+	}
+}
+
+// LRUAccessEvict interleaves accesses with explicit invalidations, the
+// pattern cache-coherent policies generate.
+func LRUAccessEvict(b *testing.B) {
+	b.ReportAllocs()
+	ids, sizes := lruStream()
+	c := cache.NewLRU(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(ids)
+		c.Access(ids[j], sizes[j])
+		if i%4 == 3 {
+			c.Evict(ids[(j+len(ids)/2)%len(ids)])
+		}
+	}
+}
+
+// serverRunRequests is the trace length of the end-to-end bench, exported
+// through Bench.Requests so benchjson can derive requests per second.
+const serverRunRequests = 4000
+
+var (
+	serverTraceOnce sync.Once
+	serverTrace     *trace.Trace
+)
+
+func serverRunTrace() *trace.Trace {
+	serverTraceOnce.Do(func() {
+		serverTrace = trace.MustGenerate(trace.GenSpec{
+			Name: "perf", Files: 600, AvgFileKB: 6, Requests: serverRunRequests,
+			AvgReqKB: 5, Alpha: 0.8, LocalityP: 0.3, Seed: 3,
+		})
+	})
+	return serverTrace
+}
+
+// ServerRun is the end-to-end number: one full L2S cluster run over a small
+// fixed-seed trace, allocations included.
+func ServerRun(b *testing.B) {
+	b.ReportAllocs()
+	tr := serverRunTrace()
+	cfg := server.NewConfig(server.L2SServer, 8,
+		server.WithSeed(5), server.WithCacheBytes(2<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

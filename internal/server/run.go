@@ -51,9 +51,164 @@ type driver struct {
 	// Open-loop arrival state.
 	openLoop   bool
 	arrivalRNG *rand.Rand
+	arrivalFn  func() // pre-bound inject-and-reschedule callback
 
 	// Timeline buckets (completions per TimelineBucket interval).
 	buckets []uint64
+
+	// Free lists of pooled per-request and per-reply jobs; the simulation is
+	// single-threaded, so plain stacks suffice.
+	reqPool []*requestJob
+	txPool  []*transmitJob
+}
+
+// requestJob is the pooled state of one non-persistent request's lifecycle:
+// router in, initial node NI and CPU, distribution decision, optional
+// hand-off, service, reply out. Each stage is a method-value callback
+// created once per pooled object, replacing the chain of per-request
+// closures the driver used to allocate.
+type requestJob struct {
+	d       *driver
+	f       cache.FileID
+	skb     float64
+	t0      float64
+	n0, svc int
+
+	afterRouterIn, afterNIIn, afterParse, decide, afterFwd,
+	serve, finish, afterTransmit, afterNIOut, afterRouterOut func()
+}
+
+func (d *driver) getRequestJob() *requestJob {
+	if n := len(d.reqPool); n > 0 {
+		j := d.reqPool[n-1]
+		d.reqPool = d.reqPool[:n-1]
+		return j
+	}
+	j := &requestJob{d: d}
+	j.afterRouterIn = func() {
+		d := j.d
+		node0 := d.nodes[j.n0]
+		if node0.Failed() {
+			j.release()
+			d.abortUnassigned()
+			return
+		}
+		node0.NIIn.Acquire(d.niIn, j.afterNIIn)
+	}
+	j.afterNIIn = func() {
+		d := j.d
+		cpuCost := d.parse
+		if j.n0 == d.dist.FrontEnd() {
+			// The front-end's accept+parse+hand-off budget.
+			cpuCost = d.cfg.FECostSec
+		}
+		d.nodes[j.n0].CPU.Acquire(d.cpu(j.n0, cpuCost), j.afterParse)
+	}
+	j.afterParse = func() {
+		j.d.consultDispatcher(j.n0, j.decide)
+	}
+	j.decide = func() {
+		d := j.d
+		svc := d.dist.Service(j.n0, j.f)
+		j.svc = svc
+		d.nodes[svc].AddConnection()
+		d.dist.OnAssign(svc)
+		d.assigned++
+		if svc == j.n0 {
+			j.serve()
+			return
+		}
+		d.forwarded++
+		fwdCost := d.fwd
+		if j.n0 == d.dist.FrontEnd() {
+			fwdCost = 0 // already inside the front-end budget
+		}
+		d.nodes[j.n0].CPU.Acquire(d.cpu(j.n0, fwdCost), j.afterFwd)
+	}
+	j.afterFwd = func() {
+		d := j.d
+		d.net.Send(d.nodes[j.n0], d.nodes[j.svc], d.cfg.Costs.ReqKB, j.serve)
+	}
+	j.serve = func() {
+		// Service at the chosen node: cache lookup, disk on a miss.
+		d := j.d
+		node := d.nodes[j.svc]
+		if node.Failed() {
+			n, f := j.svc, j.f
+			j.release()
+			d.abortAssigned(n, f)
+			return
+		}
+		hit := node.Cache.Access(j.f, d.tr.Size(j.f))
+		if hit {
+			j.finish()
+		} else {
+			d.fetch(j.svc, j.f, j.skb, j.finish)
+		}
+	}
+	j.finish = func() {
+		j.d.transmit(j.d.nodes[j.svc], j.skb, j.afterTransmit)
+	}
+	j.afterTransmit = func() {
+		d := j.d
+		d.nodes[j.svc].NIOut.Acquire(d.cfg.Costs.NIOutTime(j.skb), j.afterNIOut)
+	}
+	j.afterNIOut = func() {
+		j.d.net.RouterOut(j.skb, j.afterRouterOut)
+	}
+	j.afterRouterOut = func() {
+		d, n, f, t0 := j.d, j.svc, j.f, j.t0
+		j.release()
+		d.complete(n, f, t0)
+	}
+	return j
+}
+
+func (j *requestJob) release() {
+	j.d.reqPool = append(j.d.reqPool, j)
+}
+
+// transmitJob is the pooled state of one reply's chunked CPU transmit
+// processing (see driver.transmit).
+type transmitJob struct {
+	d         *driver
+	node      *cluster.Node
+	remaining float64
+	chunk     float64
+	first     bool
+	done      func()
+
+	step func()
+}
+
+func (d *driver) getTransmitJob() *transmitJob {
+	if n := len(d.txPool); n > 0 {
+		j := d.txPool[n-1]
+		d.txPool = d.txPool[:n-1]
+		return j
+	}
+	j := &transmitJob{d: d}
+	j.step = func() {
+		if j.remaining <= 0 {
+			d, done := j.d, j.done
+			j.node, j.done = nil, nil
+			d.txPool = append(d.txPool, j)
+			done()
+			return
+		}
+		kb := j.chunk
+		if kb > j.remaining {
+			kb = j.remaining
+		}
+		j.remaining -= kb
+		cost := kb / j.d.cfg.Costs.ReplyKBps
+		if j.first {
+			cost += j.d.cfg.Costs.ReplyFixed
+			j.first = false
+		}
+		j.node.CPU.Acquire(j.d.cpu(j.node.ID, cost), j.step)
+	}
+	return j
 }
 
 // Run simulates one configuration over a trace and reports the measured
@@ -152,11 +307,14 @@ func (d *driver) scheduleArrival() {
 	if d.next >= d.tr.NumRequests() {
 		return
 	}
+	if d.arrivalFn == nil {
+		d.arrivalFn = func() {
+			d.inject()
+			d.scheduleArrival()
+		}
+	}
 	gap := d.arrivalRNG.ExpFloat64() / d.cfg.ArrivalRate
-	d.eng.Schedule(gap, func() {
-		d.inject()
-		d.scheduleArrival()
-	})
+	d.eng.Schedule(gap, d.arrivalFn)
 }
 
 // inject starts the next trace request (or, in persistent mode, the next
@@ -196,53 +354,21 @@ func (d *driver) beginMeasurement() {
 }
 
 // start runs the connection lifecycle: router in, initial node NI and CPU,
-// distribution decision, optional hand-off, service, reply out.
+// distribution decision, optional hand-off, service, reply out. The
+// lifecycle's stages live on a pooled requestJob, so steady-state request
+// processing allocates nothing in the driver.
 func (d *driver) start(idx int) {
 	d.inflight++
 	f := d.tr.Requests[idx]
 	if ca, ok := d.dist.(policy.ClientAware); ok {
 		ca.SetNextClient(d.tr.Client(idx))
 	}
-	n0 := d.dist.Initial(f)
-	skb := float64(d.tr.Size(f)) / 1024
-	t0 := d.eng.Now()
-
-	d.net.RouterIn(d.cfg.Costs.ReqKB, func() {
-		node0 := d.nodes[n0]
-		if node0.Failed() {
-			d.abortUnassigned()
-			return
-		}
-		node0.NIIn.Acquire(d.niIn, func() {
-			cpuCost := d.parse
-			if n0 == d.dist.FrontEnd() {
-				// The front-end's accept+parse+hand-off budget.
-				cpuCost = d.cfg.FECostSec
-			}
-			node0.CPU.Acquire(d.cpu(n0, cpuCost), func() {
-				d.consultDispatcher(n0, func() {
-					svc := d.dist.Service(n0, f)
-					d.nodes[svc].AddConnection()
-					d.dist.OnAssign(svc)
-					d.assigned++
-					if svc == n0 {
-						d.serve(svc, f, skb, t0)
-						return
-					}
-					d.forwarded++
-					fwdCost := d.fwd
-					if n0 == d.dist.FrontEnd() {
-						fwdCost = 0 // already inside the front-end budget
-					}
-					node0.CPU.Acquire(d.cpu(n0, fwdCost), func() {
-						d.net.Send(node0, d.nodes[svc], d.cfg.Costs.ReqKB, func() {
-							d.serve(svc, f, skb, t0)
-						})
-					})
-				})
-			})
-		})
-	})
+	j := d.getRequestJob()
+	j.f = f
+	j.n0 = d.dist.Initial(f)
+	j.skb = float64(d.tr.Size(f)) / 1024
+	j.t0 = d.eng.Now()
+	d.net.RouterIn(d.cfg.Costs.ReqKB, j.afterRouterIn)
 }
 
 // consultDispatcher charges the decision query of a Dispatched policy (a
@@ -273,31 +399,6 @@ func (d *driver) consultDispatcher(n0 int, decide func()) {
 			})
 		})
 	})
-}
-
-// serve runs the request at its service node: cache lookup, disk on a
-// miss, reply processing on the CPU, NI out, router out.
-func (d *driver) serve(n int, f cache.FileID, skb float64, t0 float64) {
-	node := d.nodes[n]
-	if node.Failed() {
-		d.abortAssigned(n, f)
-		return
-	}
-	hit := node.Cache.Access(f, d.tr.Size(f))
-	finish := func() {
-		d.transmit(node, skb, func() {
-			node.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
-				d.net.RouterOut(skb, func() {
-					d.complete(n, f, t0)
-				})
-			})
-		})
-	}
-	if hit {
-		finish()
-	} else {
-		d.fetch(n, f, skb, finish)
-	}
 }
 
 // fetch brings a missed file into node n: from its local disk, or — with
@@ -354,32 +455,18 @@ func fileHome(f cache.FileID, n int) int {
 // behavior implied by the per-512-byte transmit cost of the LARD paper the
 // parameters come from.
 func (d *driver) transmit(node *cluster.Node, skb float64, done func()) {
-	chunk := d.cfg.CPUChunkKB
-	if chunk <= 0 {
-		chunk = 8
+	// Fixed per-reply cost up front, then the per-byte portion in chunks,
+	// all carried by a pooled job instead of a per-reply closure.
+	j := d.getTransmitJob()
+	j.node = node
+	j.remaining = skb
+	j.chunk = d.cfg.CPUChunkKB
+	if j.chunk <= 0 {
+		j.chunk = 8
 	}
-	// Fixed per-reply cost up front, then the per-byte portion in chunks.
-	remaining := skb
-	var next func()
-	first := true
-	next = func() {
-		if remaining <= 0 {
-			done()
-			return
-		}
-		kb := chunk
-		if kb > remaining {
-			kb = remaining
-		}
-		remaining -= kb
-		cost := kb / d.cfg.Costs.ReplyKBps
-		if first {
-			cost += d.cfg.Costs.ReplyFixed
-			first = false
-		}
-		node.CPU.Acquire(d.cpu(node.ID, cost), next)
-	}
-	next()
+	j.first = true
+	j.done = done
+	j.step()
 }
 
 func (d *driver) complete(n int, f cache.FileID, t0 float64) {

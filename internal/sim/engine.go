@@ -9,10 +9,16 @@
 // need a total order over events to be reproducible, so all model code runs
 // on the goroutine that calls Run, and two events scheduled for the same
 // instant fire in the order they were scheduled.
+//
+// The calendar is allocation-free in steady state: events live in a pooled
+// slot array reached through a slice-backed binary heap of plain values, so
+// scheduling and firing never touch the garbage collector once the pool has
+// grown to the simulation's high-water mark. Event handles carry a
+// generation counter, which keeps Cancel safe (a no-op) after the event has
+// fired and its slot has been recycled.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -20,63 +26,87 @@ import (
 // Time is simulated time in seconds since the start of the run.
 type Time = float64
 
-// Event is a scheduled callback. It can be cancelled until it fires.
+// Event is a cancellable handle to a scheduled callback. It is a small
+// value; copying it copies the handle, not the event. The zero Event is
+// inert: Cancel on it is a no-op.
 type Event struct {
-	when   Time
-	seq    uint64
-	fn     func()
-	index  int // position in the heap, -1 once removed
-	cancel bool
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
-// When returns the simulated time at which the event is scheduled to fire.
-func (e *Event) When() Time { return e.when }
+// When returns the simulated time at which the event is scheduled to fire,
+// or NaN if it already fired or was cancelled.
+func (ev Event) When() Time {
+	if ev.eng == nil || ev.eng.slots[ev.slot].gen != ev.gen {
+		return math.NaN()
+	}
+	return ev.eng.slots[ev.slot].when
+}
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// fired or was already cancelled is a no-op: the generation counter in the
+// handle no longer matches the recycled slot's.
+func (ev Event) Cancel() {
+	if ev.eng == nil {
+		return
 	}
-	return h[i].seq < h[j].seq
+	s := &ev.eng.slots[ev.slot]
+	if s.gen != ev.gen {
+		return
+	}
+	ev.eng.pending--
+	ev.eng.freeSlot(ev.slot)
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// eventSlot is pooled per-event state. A slot is live between schedule and
+// fire/cancel; gen increments on every release, invalidating stale handles
+// and stale heap entries alike.
+//
+// A slot carries either a generic callback (fn) or a resource completion
+// (res + done). Resource completions are common enough — every Acquire
+// schedules one — that representing them directly saves a closure per job.
+type eventSlot struct {
+	when Time
+	fn   func()
+	res  *Resource
+	done func()
+	gen  uint32
+	next int32 // free-list link while the slot is free
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// heapEntry is one calendar entry: the ordering key as plain values plus
+// the slot it refers to. Comparisons never chase a pointer, and pushing or
+// popping moves 24-byte values within one slice.
+type heapEntry struct {
+	when Time
+	seq  uint64
+	slot int32
+	gen  uint32
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (a heapEntry) before(b heapEntry) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
 }
 
 // Engine is a discrete-event simulator: a clock plus an event calendar.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now     Time
+	seq     uint64
+	heap    []heapEntry
+	slots   []eventSlot
+	free    int32 // head of the slot free list, -1 when empty
+	pending int   // scheduled, uncancelled, unfired events
+	fired   uint64
 }
 
 // NewEngine returns an engine with the clock at zero and an empty calendar.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{free: -1}
 }
 
 // Now returns the current simulated time.
@@ -85,12 +115,13 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have fired so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are scheduled but have not fired.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many events are scheduled but have not fired or been
+// cancelled.
+func (e *Engine) Pending() int { return e.pending }
 
 // Schedule runs fn after delay units of simulated time. A negative delay is
 // an error in the model; it panics rather than silently reordering history.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("sim: schedule with invalid delay %v at t=%v", delay, e.now))
 	}
@@ -98,32 +129,146 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 }
 
 // At runs fn at absolute simulated time t, which must not be in the past.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
-	ev := &Event{when: t, seq: e.seq, fn: fn}
+	slot := e.allocSlot()
+	s := &e.slots[slot]
+	s.when = t
+	s.fn = fn
+	e.push(t, slot, s.gen)
+	return Event{eng: e, slot: slot, gen: s.gen}
+}
+
+// atCompletion schedules a resource-completion event: when it fires, r
+// retires one job and then calls done. Storing the pair in the slot instead
+// of a closure keeps Resource.Acquire allocation-free.
+func (e *Engine) atCompletion(t Time, r *Resource, done func()) {
+	slot := e.allocSlot()
+	s := &e.slots[slot]
+	s.when = t
+	s.res = r
+	s.done = done
+	e.push(t, slot, s.gen)
+}
+
+// allocSlot takes a slot from the free list, growing the pool if none is
+// free.
+func (e *Engine) allocSlot() int32 {
+	if e.free >= 0 {
+		slot := e.free
+		e.free = e.slots[slot].next
+		return slot
+	}
+	e.slots = append(e.slots, eventSlot{next: -1})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot releases a slot back to the pool. Bumping gen invalidates every
+// outstanding handle and heap entry that still names the slot.
+func (e *Engine) freeSlot(slot int32) {
+	s := &e.slots[slot]
+	s.fn = nil
+	s.res = nil
+	s.done = nil
+	s.gen++
+	s.next = e.free
+	e.free = slot
+}
+
+// push appends a calendar entry and restores the heap order.
+func (e *Engine) push(t Time, slot int32, gen uint32) {
+	e.heap = append(e.heap, heapEntry{when: t, seq: e.seq, slot: slot, gen: gen})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.pending++
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	entry := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entry.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = entry
+}
+
+// popMin removes and returns the root entry. The caller checks staleness.
+func (e *Engine) popMin() heapEntry {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	entry := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h[r].before(h[child]) {
+			child = r
+		}
+		if !h[child].before(entry) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = entry
+}
+
+// nextLive pops stale entries (whose event was cancelled and whose slot has
+// been recycled, detected by the generation mismatch) until the root is
+// live. It reports false when the calendar is empty.
+func (e *Engine) nextLive() bool {
+	for len(e.heap) > 0 {
+		if e.slots[e.heap[0].slot].gen == e.heap[0].gen {
+			return true
+		}
+		e.popMin()
+	}
+	return false
 }
 
 // Step fires the next event. It reports false when the calendar is empty.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancel {
-			continue
-		}
-		if ev.when < e.now {
-			panic("sim: time went backwards")
-		}
-		e.now = ev.when
-		e.fired++
-		ev.fn()
-		return true
+	if !e.nextLive() {
+		return false
 	}
-	return false
+	entry := e.popMin()
+	if entry.when < e.now {
+		panic("sim: time went backwards")
+	}
+	// Copy the callback out and release the slot before invoking it: the
+	// callback is free to schedule new events into the recycled slot.
+	s := &e.slots[entry.slot]
+	fn, res, done := s.fn, s.res, s.done
+	e.pending--
+	e.freeSlot(entry.slot)
+	e.now = entry.when
+	e.fired++
+	if res != nil {
+		res.complete(done)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run fires events until the calendar is empty.
@@ -135,11 +280,7 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps at or before t, then advances the
 // clock to t. Events scheduled for later instants remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for {
-		ev := e.peek()
-		if ev == nil || ev.when > t {
-			break
-		}
+	for e.nextLive() && e.heap[0].when <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -154,15 +295,4 @@ func (e *Engine) RunLimit(n uint64) uint64 {
 		fired++
 	}
 	return fired
-}
-
-func (e *Engine) peek() *Event {
-	for len(e.events) > 0 {
-		if e.events[0].cancel {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
-	}
-	return nil
 }

@@ -67,15 +67,20 @@ func (r *Resource) Acquire(service Time, done func()) Time {
 	r.free[best] = finish
 	r.busy += service
 
-	r.eng.At(finish, func() {
-		r.accumulate(r.eng.Now())
-		r.inSystem--
-		r.completed++
-		if done != nil {
-			done()
-		}
-	})
+	// A completion event carries (r, done) in its pooled slot rather than a
+	// closure, so Acquire itself never allocates.
+	r.eng.atCompletion(finish, r, done)
 	return finish
+}
+
+// complete retires one job when its completion event fires.
+func (r *Resource) complete(done func()) {
+	r.accumulate(r.eng.Now())
+	r.inSystem--
+	r.completed++
+	if done != nil {
+		done()
+	}
 }
 
 func (r *Resource) accumulate(now Time) {
