@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race fmt vet bench bench-hot bench-json
+.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json
 
 all: build
 
@@ -27,9 +27,15 @@ check: fmt vet build test
 
 # race exercises the deterministic sweep runner and the simulator under the
 # race detector — the parallel-equals-sequential guarantee is only as good
-# as its synchronization — plus the pooled simulation core.
+# as its synchronization — plus the pooled simulation core and the live
+# native cluster (gossip, failure detection, hand-off retry).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/cache/... ./internal/runner/... ./internal/server/...
+	$(GO) test -race ./internal/sim/... ./internal/cache/... ./internal/runner/... ./internal/server/... ./internal/native/...
+
+# chaos runs the fault-injection tests (node kill mid-replay, seeded gossip
+# drop/delay/duplicate, crash recovery) under the race detector, twice.
+chaos:
+	$(GO) test -race -count=2 -run 'TestChaos' ./internal/native/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

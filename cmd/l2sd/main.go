@@ -1,16 +1,21 @@
 // Command l2sd runs a live L2S cluster over HTTP on loopback ports — the
 // native server of the paper's conclusion. It serves a synthetic catalog,
-// gossips load and server-set changes between nodes, and hands requests
-// off by reverse proxying.
+// gossips load and server-set changes between nodes, hands requests off by
+// reverse proxying, and survives node crashes: heartbeat failure detection
+// evicts dead nodes from server sets, hand-offs retry with backoff, and a
+// restarted node rejoins through heartbeats and anti-entropy.
 //
 // Usage:
 //
 //	l2sd -nodes 4                       # run until interrupted
 //	l2sd -nodes 4 -demo 10s             # drive built-in load, print stats
+//	l2sd -nodes 4 -demo 10s -kill 2@3s -restart 4s   # crash + rejoin drill
+//	l2sd -nodes 4 -demo 10s -droprate 0.1 -faultseed 7  # lossy gossip
 //	curl $(l2sd prints the URLs)/files/f/17
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +23,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +49,16 @@ func main() {
 		alpha   = flag.Float64("alpha", 0.9, "demo request popularity exponent")
 		replay  = flag.String("replay", "", "replay a paper trace (calgary, clarknet, nasa, rutgers) instead of synthetic demo load")
 		scale   = flag.Float64("scale", 0.02, "request-count scale for -replay")
+
+		heartbeat = flag.Duration("heartbeat", 500*time.Millisecond, "health heartbeat period")
+
+		kill       = flag.String("kill", "", "crash node n after d, format n@d (e.g. 2@3s)")
+		restart    = flag.Duration("restart", 0, "restart the killed node this long after the kill (0 = never)")
+		droprate   = flag.Float64("droprate", 0, "fault injection: drop this fraction of control messages")
+		faultdelay = flag.Duration("faultdelay", 0, "fault injection: delay control messages up to this duration")
+		duprate    = flag.Float64("duprate", 0, "fault injection: duplicate this fraction of control messages")
+		faultseed  = flag.Int64("faultseed", 1, "fault injection / jitter RNG seed")
+		jsonOut    = flag.Bool("json", false, "print final cluster stats as JSON")
 	)
 	flag.Parse()
 
@@ -50,30 +67,49 @@ func main() {
 	if *replay != "" {
 		spec, err := trace.PaperTrace(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "l2sd:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		replayTrace, err = trace.Generate(spec.Scaled(*scale))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "l2sd:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		store = native.StoreFromTrace(replayTrace)
 	}
 
-	cluster, err := native.StartCluster(native.ClusterConfig{
-		Nodes:      *nodes,
-		Store:      store,
-		CacheBytes: *cacheMB << 20,
-		Opts: native.Options{
-			T: *tHigh, LowT: *tLow, BroadcastDelta: *delta,
-			ShrinkAfter: 20 * time.Second,
-		},
-		MissPenalty: *miss,
-	})
+	opts := []native.Option{
+		native.WithNodes(*nodes),
+		native.WithStore(store),
+		native.WithCacheMB(*cacheMB),
+		native.WithThresholds(*tHigh, *tLow),
+		native.WithBroadcastDelta(*delta),
+		native.WithShrinkAfter(20 * time.Second),
+		native.WithMissPenalty(*miss),
+		native.WithSeed(*faultseed),
+		native.WithHealth(native.HealthOptions{
+			HeartbeatEvery: *heartbeat,
+			SyncEvery:      4 * *heartbeat,
+			SuspectAfter:   1,
+			DeadAfter:      3,
+		}),
+	}
+	var fi *native.FaultInjector
+	if *droprate > 0 || *faultdelay > 0 || *duprate > 0 {
+		fi = native.NewFaultInjector(*faultseed)
+		if err := fi.SetDropRate(*droprate); err != nil {
+			fatal(err)
+		}
+		if err := fi.SetDelay(*faultdelay, 1); err != nil {
+			fatal(err)
+		}
+		if err := fi.SetDupRate(*duprate); err != nil {
+			fatal(err)
+		}
+		opts = append(opts, native.WithFaults(fi))
+	}
+
+	cluster, err := native.Start(opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "l2sd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer cluster.Shutdown()
 
@@ -82,24 +118,30 @@ func main() {
 	for i, u := range cluster.URLs() {
 		fmt.Printf("  node %d: %s/files/f/<id>   (stats: %s/statsz)\n", i, u, u)
 	}
+	if fi != nil {
+		fmt.Printf("l2sd: fault injection on (drop=%.0f%% delay<=%v dup=%.0f%% seed=%d)\n",
+			*droprate*100, *faultdelay, *duprate*100, *faultseed)
+	}
+	if err := scheduleKill(cluster, *kill, *restart); err != nil {
+		fatal(err)
+	}
 
 	if replayTrace != nil {
 		fmt.Printf("l2sd: replaying %s (%d requests) with %d workers...\n",
 			replayTrace.Name, replayTrace.NumRequests(), *workers)
 		res, err := native.Replay(cluster, replayTrace, *workers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "l2sd:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		fmt.Printf("l2sd: %d completed (%d errors) in %v: %.0f req/s\n",
-			res.Completed, res.Errors, res.Wall.Round(time.Millisecond), res.Rate)
-		printStats(cluster)
+		fmt.Printf("l2sd: %d completed (%d errors, %d client retries) in %v: %.0f req/s\n",
+			res.Completed, res.Errors, res.Retries, res.Wall.Round(time.Millisecond), res.Rate)
+		printStats(cluster, fi, *jsonOut)
 		return
 	}
 
 	if *demo > 0 {
 		runDemo(cluster, *demo, *workers, *files, *alpha)
-		printStats(cluster)
+		printStats(cluster, fi, *jsonOut)
 		return
 	}
 
@@ -107,7 +149,48 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
-	printStats(cluster)
+	printStats(cluster, fi, *jsonOut)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "l2sd:", err)
+	os.Exit(1)
+}
+
+// scheduleKill parses -kill n@d and arms the crash (and optional restart)
+// timers.
+func scheduleKill(cluster *native.Cluster, spec string, restart time.Duration) error {
+	if spec == "" {
+		return nil
+	}
+	at := strings.IndexByte(spec, '@')
+	if at < 0 {
+		return fmt.Errorf("bad -kill %q, want n@duration (e.g. 2@3s)", spec)
+	}
+	node, err := strconv.Atoi(spec[:at])
+	if err != nil || node < 0 || node >= cluster.Len() {
+		return fmt.Errorf("bad -kill node %q, cluster has nodes 0..%d", spec[:at], cluster.Len()-1)
+	}
+	after, err := time.ParseDuration(spec[at+1:])
+	if err != nil || after <= 0 {
+		return fmt.Errorf("bad -kill delay %q", spec[at+1:])
+	}
+	time.AfterFunc(after, func() {
+		fmt.Printf("l2sd: FAULT killing node %d\n", node)
+		if err := cluster.Stop(node); err != nil {
+			fmt.Fprintln(os.Stderr, "l2sd: kill:", err)
+			return
+		}
+		if restart > 0 {
+			time.AfterFunc(restart, func() {
+				fmt.Printf("l2sd: FAULT restarting node %d\n", node)
+				if err := cluster.Restart(node); err != nil {
+					fmt.Fprintln(os.Stderr, "l2sd: restart:", err)
+				}
+			})
+		}
+	})
+	return nil
 }
 
 // runDemo drives Zipf-popular requests through the cluster round robin.
@@ -123,33 +206,75 @@ func runDemo(cluster *native.Cluster, d time.Duration, workers, files int, alpha
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			client := &http.Client{Timeout: 10 * time.Second}
+			urls := cluster.URLs()
 			for time.Now().Before(stop) {
 				id := dist.Sample(rng) - 1
-				url := fmt.Sprintf("%s/files/f/%d", cluster.NextURL(), id)
-				resp, err := client.Get(url)
-				if err != nil {
-					errs.Add(1)
-					continue
+				path := fmt.Sprintf("/files/f/%d", id)
+				// Like a round-robin-DNS client, retry a failed request
+				// (transport error, truncated body, non-2xx) against the next
+				// address; only a request that fails everywhere is an error.
+				ok := false
+				for attempt := 0; attempt <= len(urls); attempt++ {
+					url := cluster.NextURL()
+					if attempt > 0 {
+						url = urls[(id+int64(attempt))%int64(len(urls))]
+					}
+					resp, err := client.Get(url + path)
+					if err != nil {
+						continue
+					}
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cerr != nil || resp.StatusCode/100 != 2 {
+						continue
+					}
+					ok = true
+					break
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				done.Add(1)
+				if ok {
+					done.Add(1)
+				} else {
+					errs.Add(1)
+				}
 			}
 		}(int64(w) + 1)
 	}
 	wg.Wait()
-	fmt.Printf("l2sd: %d requests completed (%d errors), %.0f req/s\n",
+	fmt.Printf("l2sd: %d requests completed, %d errors, %.0f req/s\n",
 		done.Load(), errs.Load(), float64(done.Load())/d.Seconds())
 }
 
-func printStats(cluster *native.Cluster) {
+func printStats(cluster *native.Cluster, fi *native.FaultInjector, asJSON bool) {
+	if asJSON {
+		out := struct {
+			Totals native.Stats       `json:"totals"`
+			Nodes  []native.Stats     `json:"nodes"`
+			Faults *native.FaultStats `json:"faults,omitempty"`
+		}{Totals: cluster.Totals()}
+		for i := 0; i < cluster.Len(); i++ {
+			out.Nodes = append(out.Nodes, cluster.Node(i).Snapshot())
+		}
+		if fi != nil {
+			fs := fi.Stats()
+			out.Faults = &fs
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+		return
+	}
 	fmt.Println("per-node statistics:")
 	for i := 0; i < cluster.Len(); i++ {
 		s := cluster.Node(i).Snapshot()
-		fmt.Printf("  node %d: served=%-7d proxied-out=%-7d handoffs-in=%-7d hit-rate=%5.1f%% cache=%dKB gossip=%d\n",
-			s.ID, s.Served, s.Proxied, s.Received, s.HitRate*100, s.CacheUsed>>10, s.GossipOut)
+		fmt.Printf("  node %d: served=%-7d proxied-out=%-7d handoffs-in=%-7d hit-rate=%5.1f%% cache=%dKB gossip=%d/%d-fail dead-peers=%d\n",
+			s.ID, s.Served, s.Proxied, s.Received, s.HitRate*100, s.CacheUsed>>10, s.GossipOut, s.GossipFail, s.DeadPeers)
 	}
 	t := cluster.Totals()
-	fmt.Printf("cluster: served=%d hit-rate=%.1f%% handoffs=%d gossip=%d fallbacks=%d\n",
-		t.Served+t.Received, t.HitRate*100, t.Proxied, t.GossipOut, t.Fallbacks)
+	fmt.Printf("cluster: served=%d hit-rate=%.1f%% handoffs=%d retries=%d failovers=%d gossip=%d (%d failed, %d retried)\n",
+		t.Served+t.Received, t.HitRate*100, t.Proxied, t.Retries, t.Failovers, t.GossipOut, t.GossipFail, t.GossipRetry)
+	if fi != nil {
+		fs := fi.Stats()
+		fmt.Printf("faults injected: dropped=%d delayed=%d duplicated=%d blocked=%d\n",
+			fs.Dropped, fs.Delayed, fs.Duplicated, fs.Blocked)
+	}
 }

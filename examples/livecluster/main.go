@@ -21,13 +21,18 @@ import (
 )
 
 func main() {
-	cluster, err := native.StartCluster(native.ClusterConfig{
-		Nodes:       4,
-		Store:       native.SyntheticStore(500, 16, 1),
-		CacheBytes:  8 << 20,
-		Opts:        native.DefaultOptions(),
-		MissPenalty: time.Millisecond, // a pretend disk
-	})
+	cluster, err := native.Start(
+		native.WithNodes(4),
+		native.WithStore(native.SyntheticStore(500, 16, 1)),
+		native.WithCacheMB(8),
+		native.WithMissPenalty(time.Millisecond), // a pretend disk
+		native.WithHealth(native.HealthOptions{
+			HeartbeatEvery: 100 * time.Millisecond,
+			SyncEvery:      250 * time.Millisecond,
+			SuspectAfter:   1,
+			DeadAfter:      3,
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,8 +69,17 @@ func main() {
 	}
 	drive(cluster, 2*time.Second, 48, 500)
 	report(cluster)
+
+	// Phase 4: the crashed node rejoins — heartbeats re-detect it, and
+	// anti-entropy restores its server-set replica.
+	fmt.Println("\nphase 4: restarting node 2, then 2 more seconds of traffic")
+	if err := cluster.Restart(2); err != nil {
+		log.Fatal(err)
+	}
+	drive(cluster, 2*time.Second, 48, 500)
+	report(cluster)
 	fmt.Println("\nno front-end, no single point of failure: the cluster")
-	fmt.Println("kept serving with node 2 gone.")
+	fmt.Println("kept serving with node 2 gone, and took it back on return.")
 }
 
 // drive fires Zipf-distributed requests using every node but the crashed

@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
 
-// ClusterConfig configures an in-process cluster: every node gets its own
-// loopback listener, cache, and state replica.
+// ClusterConfig is the legacy two-struct cluster configuration.
+//
+// Deprecated: use Start with functional options (WithNodes, WithStore,
+// WithCacheMB, WithThresholds, ...). This type remains for one release so
+// existing call sites keep compiling.
 type ClusterConfig struct {
 	Nodes        int
 	Store        Store
@@ -22,29 +26,40 @@ type ClusterConfig struct {
 
 // Cluster is a running set of native nodes.
 type Cluster struct {
+	cfg  clusterConfig
+	urls []string // immutable after Start
+
+	mu        sync.RWMutex
 	nodes     []*Node
 	servers   []*http.Server
 	listeners []net.Listener
-	urls      []string
 
 	rrMu sync.Mutex
 	rr   int
 }
 
-// StartCluster launches cfg.Nodes nodes on ephemeral loopback ports and
-// wires them together. Call Shutdown when done.
-func StartCluster(cfg ClusterConfig) (*Cluster, error) {
-	if cfg.Nodes < 1 {
-		return nil, fmt.Errorf("native: need at least one node, got %d", cfg.Nodes)
+// Start launches a cluster of nodes on ephemeral loopback ports and wires
+// them together: shared catalog, per-node caches and state replicas,
+// gossip with bounded retry, heartbeat failure detection, and server-set
+// anti-entropy. Call Shutdown when done.
+func Start(opts ...Option) (*Cluster, error) {
+	cfg := defaultClusterConfig()
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
 	}
-	if cfg.Store == nil {
-		return nil, fmt.Errorf("native: cluster needs a store")
+	if cfg.store == nil {
+		return nil, fmt.Errorf("native: cluster needs a store (use WithStore)")
 	}
-	c := &Cluster{}
+	c := &Cluster{cfg: cfg}
 
 	// Reserve a listener (and thus an address) per node first, so every
 	// node can be born knowing the full peer list.
-	for i := 0; i < cfg.Nodes; i++ {
+	for i := 0; i < cfg.nodes; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			c.closeListeners()
@@ -53,17 +68,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.listeners = append(c.listeners, ln)
 		c.urls = append(c.urls, "http://"+ln.Addr().String())
 	}
+	if cfg.faults != nil {
+		cfg.faults.register(c.urls)
+	}
 
-	for i := 0; i < cfg.Nodes; i++ {
-		node, err := NewNode(Config{
-			ID:           i,
-			Peers:        c.urls,
-			Store:        cfg.Store,
-			CacheBytes:   cfg.CacheBytes,
-			Opts:         cfg.Opts,
-			MissPenalty:  cfg.MissPenalty,
-			ServePenalty: cfg.ServePenalty,
-		})
+	for i := 0; i < cfg.nodes; i++ {
+		node, err := c.newNode(i)
 		if err != nil {
 			c.closeListeners()
 			return nil, err
@@ -71,11 +81,55 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		srv := &http.Server{Handler: node.Handler()}
 		c.nodes = append(c.nodes, node)
 		c.servers = append(c.servers, srv)
+		node.startLoops()
 		go func(srv *http.Server, ln net.Listener) {
 			_ = srv.Serve(ln)
 		}(srv, c.listeners[i])
 	}
 	return c, nil
+}
+
+// StartCluster launches cfg.Nodes nodes on ephemeral loopback ports and
+// wires them together.
+//
+// Deprecated: use Start with functional options. This shim translates the
+// legacy config (zero values fall back to defaults, as before) and will be
+// removed next release.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	opts := []Option{WithNodes(cfg.Nodes)}
+	if cfg.Store != nil {
+		opts = append(opts, WithStore(cfg.Store))
+	}
+	if cfg.CacheBytes > 0 {
+		opts = append(opts, WithCacheBytes(cfg.CacheBytes))
+	}
+	if cfg.Opts.T != 0 {
+		opts = append(opts, WithL2S(cfg.Opts))
+	}
+	if cfg.MissPenalty > 0 {
+		opts = append(opts, WithMissPenalty(cfg.MissPenalty))
+	}
+	if cfg.ServePenalty > 0 {
+		opts = append(opts, WithServePenalty(cfg.ServePenalty))
+	}
+	return Start(opts...)
+}
+
+// newNode builds node i from the cluster's resolved configuration.
+func (c *Cluster) newNode(i int) (*Node, error) {
+	return NewNode(Config{
+		ID:           i,
+		Peers:        c.urls,
+		Store:        c.cfg.store,
+		CacheBytes:   c.cfg.cacheBytes,
+		Opts:         c.cfg.l2s,
+		MissPenalty:  c.cfg.missPenalty,
+		ServePenalty: c.cfg.servePenalty,
+		Health:       c.cfg.health,
+		Retry:        c.cfg.retry,
+		Faults:       c.cfg.faults,
+		Seed:         c.cfg.seed + int64(i),
+	})
 }
 
 func (c *Cluster) closeListeners() {
@@ -91,11 +145,15 @@ func (c *Cluster) URLs() []string {
 	return out
 }
 
-// Node returns the i'th node.
-func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+// Node returns the i'th node (the current incarnation, after any Restart).
+func (c *Cluster) Node(i int) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[i]
+}
 
 // Len returns the cluster size.
-func (c *Cluster) Len() int { return len(c.nodes) }
+func (c *Cluster) Len() int { return len(c.urls) }
 
 // NextURL returns node base URLs in round-robin order — the client-side
 // stand-in for round-robin DNS.
@@ -108,23 +166,61 @@ func (c *Cluster) NextURL() string {
 }
 
 // Stop crashes one node — abruptly, as a real crash would: the listener
-// and all its connections close immediately. The rest of the cluster is
-// untouched.
+// and all its connections close immediately, in-flight responses are
+// truncated, and nothing is drained. The rest of the cluster detects the
+// death through its failure detectors.
 func (c *Cluster) Stop(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nodes[i].stopLoops()
 	return c.servers[i].Close()
 }
 
-// Shutdown stops every node.
+// Restart brings a previously stopped node back on its old address with a
+// cold cache and empty state — crash recovery. The rejoining node
+// announces itself through heartbeats; peers mark it alive again and
+// anti-entropy restores its server-set replica.
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr := strings.TrimPrefix(c.urls[i], "http://")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("native: restarting node %d: %w", i, err)
+	}
+	node, err := c.newNode(i)
+	if err != nil {
+		_ = ln.Close()
+		return err
+	}
+	srv := &http.Server{Handler: node.Handler()}
+	c.listeners[i], c.nodes[i], c.servers[i] = ln, node, srv
+	node.startLoops()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Shutdown drains every node gracefully: gossip loops stop first (so the
+// cluster stops advertising), then each HTTP server finishes its in-flight
+// requests before closing, bounded by a three-second deadline.
 func (c *Cluster) Shutdown() {
 	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 	defer cancel()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.stopLoops()
+	}
 	for _, srv := range c.servers {
 		_ = srv.Shutdown(ctx)
 	}
 }
 
-// Totals aggregates node statistics.
+// Totals aggregates node statistics. DeadPeers is the worst single node's
+// view (beliefs differ per node; summing them would double-count).
 func (c *Cluster) Totals() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var total Stats
 	total.ID = -1
 	for _, n := range c.nodes {
@@ -134,8 +230,14 @@ func (c *Cluster) Totals() Stats {
 		total.Received += s.Received
 		total.Hits += s.Hits
 		total.Misses += s.Misses
-		total.Fallbacks += s.Fallbacks
+		total.Retries += s.Retries
+		total.Failovers += s.Failovers
 		total.GossipOut += s.GossipOut
+		total.GossipFail += s.GossipFail
+		total.GossipRetry += s.GossipRetry
+		if s.DeadPeers > total.DeadPeers {
+			total.DeadPeers = s.DeadPeers
+		}
 	}
 	if total.Hits+total.Misses > 0 {
 		total.HitRate = float64(total.Hits) / float64(total.Hits+total.Misses)

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Control-plane messages. Both are tiny JSON documents POSTed to the
-// peers' control endpoints — the HTTP equivalent of the paper's M-VIA
-// point-to-point broadcasts.
+// Control-plane messages. All are tiny JSON documents POSTed to the peers'
+// control endpoints — the HTTP equivalent of the paper's M-VIA
+// point-to-point broadcasts. Handlers are idempotent, so retried or
+// duplicated deliveries are harmless.
 
 // LoadUpdate announces a node's current open-request count.
 type LoadUpdate struct {
@@ -20,84 +22,145 @@ type LoadUpdate struct {
 	Load int `json:"load"`
 }
 
-// SetUpdate announces a modification to a file's server set.
+// SetUpdate announces a modification to a file's server set. Version is a
+// per-path monotonic counter; replicas keep the highest version they have
+// seen (see state.applySet).
 type SetUpdate struct {
-	Path  string `json:"path"`
-	Nodes []int  `json:"nodes"`
+	Path    string `json:"path"`
+	Nodes   []int  `json:"nodes"`
+	Version uint64 `json:"version"`
+}
+
+// Ping is the gossip heartbeat: proof of life plus a fresh load sample, so
+// heartbeats double as load anti-entropy.
+type Ping struct {
+	Node int `json:"node"`
+	Load int `json:"load"`
 }
 
 const (
 	loadPath = "/control/load"
 	setPath  = "/control/set"
+	pingPath = "/control/ping"
+	syncPath = "/control/sync"
 )
 
-// gossiper pushes control messages to the cluster's peers.
+// gossiper pushes control messages to the cluster's peers with bounded
+// retry and reports per-peer delivery outcomes to the failure detector.
 type gossiper struct {
 	self    int
 	peers   []string // base URLs, indexed by node id; peers[self] unused
 	client  *http.Client
 	timeout time.Duration
+	retry   RetryPolicy
+	rng     *lockedRand
 
-	mu       sync.Mutex
-	sent     uint64
-	failures uint64
+	// onResult is invoked once per delivery attempt with the outcome; the
+	// node wires it to its health tracker.
+	onResult func(peer int, ok bool)
+
+	sent     atomic.Uint64 // messages attempted (not per-retry)
+	failures atomic.Uint64 // messages undelivered after the retry budget
+	retries  atomic.Uint64 // extra attempts beyond the first
 }
 
-func newGossiper(self int, peers []string) *gossiper {
+func newGossiper(self int, peers []string, retry RetryPolicy, transport http.RoundTripper, rng *lockedRand) *gossiper {
+	if rng == nil {
+		rng = newLockedRand(int64(self) + 1)
+	}
 	return &gossiper{
 		self:    self,
 		peers:   peers,
-		client:  &http.Client{Timeout: 2 * time.Second},
+		client:  &http.Client{Timeout: 2 * time.Second, Transport: transport},
 		timeout: 2 * time.Second,
+		retry:   retry,
+		rng:     rng,
 	}
 }
 
-// broadcast POSTs the JSON document to every live peer concurrently and
-// returns when all deliveries have been attempted.
-func (g *gossiper) broadcast(path string, doc any) {
+// broadcast POSTs the JSON document to every peer concurrently and returns
+// when all deliveries have been attempted. skip (optional) suppresses
+// individual peers — the node passes its dead-peer filter for load and set
+// gossip but not for heartbeats, which must keep probing dead peers to
+// notice a rejoin. attempts caps delivery tries for this message; <= 0
+// means the full retry budget.
+func (g *gossiper) broadcast(path string, doc any, skip func(int) bool, attempts int) {
 	body, err := json.Marshal(doc)
 	if err != nil {
 		return
 	}
 	var wg sync.WaitGroup
 	for id, base := range g.peers {
-		if id == g.self || base == "" {
+		if id == g.self || base == "" || (skip != nil && skip(id)) {
 			continue
 		}
 		wg.Add(1)
-		go func(url string) {
+		go func(id int, base string) {
 			defer wg.Done()
-			g.post(url, body)
-		}(base + path)
+			g.send(id, base+path, body, attempts)
+		}(id, base)
 	}
 	wg.Wait()
 }
 
-func (g *gossiper) post(url string, body []byte) {
+// sendTo delivers one document to one peer.
+func (g *gossiper) sendTo(peer int, path string, doc any, attempts int) bool {
+	base := g.peers[peer]
+	if peer == g.self || base == "" {
+		return false
+	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return false
+	}
+	return g.send(peer, base+path, body, attempts)
+}
+
+// send delivers one message with bounded exponential backoff + jitter.
+// Every attempt's outcome feeds the failure detector, so a run of losses
+// advances the peer through suspect to dead even within one message.
+func (g *gossiper) send(peer int, url string, body []byte, attempts int) bool {
+	if attempts <= 0 {
+		attempts = g.retry.Attempts
+	}
+	g.sent.Add(1)
+	for attempt := 1; ; attempt++ {
+		ok := g.post(url, body)
+		if g.onResult != nil {
+			g.onResult(peer, ok)
+		}
+		if ok {
+			return true
+		}
+		if attempt >= attempts {
+			g.failures.Add(1)
+			return false
+		}
+		g.retries.Add(1)
+		time.Sleep(g.retry.backoff(attempt, g.rng))
+	}
+}
+
+func (g *gossiper) post(url string, body []byte) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), g.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return
+		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := g.client.Do(req)
-	g.mu.Lock()
-	g.sent++
-	if err != nil || resp.StatusCode != http.StatusOK {
-		g.failures++
+	if err != nil {
+		return false
 	}
-	g.mu.Unlock()
-	if err == nil {
-		resp.Body.Close()
-	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
-// stats reports how many control messages were sent and how many failed.
-func (g *gossiper) stats() (sent, failures uint64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.sent, g.failures
+// stats reports how many control messages were sent, how many exhausted
+// their retry budget, and how many retry attempts were spent.
+func (g *gossiper) stats() (sent, failures, retries uint64) {
+	return g.sent.Load(), g.failures.Load(), g.retries.Load()
 }
 
 // decodeJSON is a bounded JSON body decoder for the control handlers.

@@ -20,12 +20,12 @@ func testStore(files int) *MemStore {
 
 func startTestCluster(t *testing.T, nodes int, opts Options) *Cluster {
 	t.Helper()
-	c, err := StartCluster(ClusterConfig{
-		Nodes:      nodes,
-		Store:      testStore(64),
-		CacheBytes: 1 << 20,
-		Opts:       opts,
-	})
+	c, err := Start(
+		WithNodes(nodes),
+		WithStore(testStore(64)),
+		WithCacheBytes(1<<20),
+		WithL2S(opts),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestGossipUpdatesPeerViews(t *testing.T) {
 	// Allow gossip to drain.
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		sent, _ := c.Node(1).gossip.stats()
+		sent, _, _ := c.Node(1).gossip.stats()
 		if sent > 0 {
 			return
 		}
@@ -193,8 +193,8 @@ func TestFailoverFallsBackLocally(t *testing.T) {
 	if string(body) != "content-of-4" {
 		t.Fatalf("wrong content after failover: %q", body)
 	}
-	if c.Node(0).Snapshot().Fallbacks == 0 {
-		t.Fatal("fallback not recorded")
+	if c.Node(0).Snapshot().Failovers == 0 {
+		t.Fatal("failover not recorded")
 	}
 	// Subsequent requests avoid the dead node entirely.
 	resp, _ = get(t, c.URLs()[0]+"/files/f/4")
@@ -206,13 +206,13 @@ func TestFailoverFallsBackLocally(t *testing.T) {
 func TestReplicationUnderHotspot(t *testing.T) {
 	// Low threshold + a miss penalty so open requests accumulate: a single
 	// hot file must gain a second server.
-	c, err := StartCluster(ClusterConfig{
-		Nodes:        3,
-		Store:        testStore(8),
-		CacheBytes:   1 << 20,
-		Opts:         Options{T: 2, LowT: 1, BroadcastDelta: 1, ShrinkAfter: time.Minute},
-		ServePenalty: 10 * time.Millisecond,
-	})
+	c, err := Start(
+		WithNodes(3),
+		WithStore(testStore(8)),
+		WithCacheBytes(1<<20),
+		WithL2S(Options{T: 2, LowT: 1, BroadcastDelta: 1, ShrinkAfter: time.Minute}),
+		WithServePenalty(10*time.Millisecond),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,12 +322,11 @@ func TestReplayTrace(t *testing.T) {
 		Name: "replay", Files: 100, AvgFileKB: 4, Requests: 1500,
 		AvgReqKB: 3, Alpha: 1, Seed: 9,
 	})
-	c, err := StartCluster(ClusterConfig{
-		Nodes:      3,
-		Store:      StoreFromTrace(tr),
-		CacheBytes: 4 << 20,
-		Opts:       DefaultOptions(),
-	})
+	c, err := Start(
+		WithNodes(3),
+		WithStore(StoreFromTrace(tr)),
+		WithCacheMB(4),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -30,16 +30,35 @@ type Config struct {
 	// standing in for reply transmit processing; it gives demo clusters a
 	// realistic load profile. Zero disables it.
 	ServePenalty time.Duration
+
+	// Health tunes failure detection; the zero value means
+	// DefaultHealthOptions.
+	Health HealthOptions
+
+	// Retry bounds hand-off and control-message delivery attempts; the
+	// zero value means DefaultRetryPolicy.
+	Retry RetryPolicy
+
+	// Faults, when non-nil, wraps the node's outbound transports with the
+	// fault-injection schedule.
+	Faults *FaultInjector
+
+	// Seed drives backoff jitter deterministically; zero derives one from
+	// the node id.
+	Seed int64
 }
 
 // Node is one cluster member: an HTTP server with its own cache, its own
-// replica of the distribution state, and a gossip client.
+// replica of the distribution state, a gossip client, and a failure
+// detector for its peers.
 type Node struct {
 	cfg    Config
 	state  *state
 	gossip *gossiper
 	cache  *contentCache
 	client *http.Client
+	health *healthTracker
+	rng    *lockedRand
 
 	open atomic.Int64 // requests being serviced here (the load metric)
 
@@ -48,10 +67,14 @@ type Node struct {
 	received  atomic.Uint64 // hand-offs served on behalf of others
 	hits      atomic.Uint64
 	misses    atomic.Uint64
-	fallbacks atomic.Uint64 // proxy failures served locally instead
+	retries   atomic.Uint64 // hand-off delivery retries
+	failovers atomic.Uint64 // hand-off failures served locally instead
 
-	deadMu sync.RWMutex
-	dead   map[int]bool
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	syncMu sync.Mutex
+	syncRR int // round-robin cursor for anti-entropy peers
 
 	mux *http.ServeMux
 }
@@ -71,19 +94,51 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Opts.T == 0 {
 		cfg.Opts = DefaultOptions()
 	}
+	if cfg.Health == (HealthOptions{}) {
+		cfg.Health = DefaultHealthOptions()
+	}
+	if cfg.Retry == (RetryPolicy{}) {
+		cfg.Retry = DefaultRetryPolicy()
+	}
+	if err := cfg.Health.validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Retry.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = int64(cfg.ID) + 1
+	}
+	var transport http.RoundTripper
+	if cfg.Faults != nil {
+		transport = cfg.Faults.transport(nil)
+	}
+	rng := newLockedRand(cfg.Seed)
 	n := &Node{
 		cfg:    cfg,
 		state:  newState(cfg.ID, len(cfg.Peers), cfg.Opts),
-		gossip: newGossiper(cfg.ID, cfg.Peers),
+		gossip: newGossiper(cfg.ID, cfg.Peers, cfg.Retry, transport, rng),
 		cache:  newContentCache(cfg.CacheBytes),
-		client: &http.Client{Timeout: 10 * time.Second},
-		dead:   make(map[int]bool),
+		client: &http.Client{Timeout: 10 * time.Second, Transport: transport},
+		health: newHealthTracker(cfg.ID, len(cfg.Peers), cfg.Health),
+		rng:    rng,
+		stop:   make(chan struct{}),
+	}
+	n.health.onDead = n.peerDied
+	n.gossip.onResult = func(peer int, ok bool) {
+		if ok {
+			n.health.observeSuccess(peer)
+		} else {
+			n.health.observeFailure(peer)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/files/", n.handleFiles)
 	mux.HandleFunc("/local/", n.handleLocal)
 	mux.HandleFunc(loadPath, n.handleLoadUpdate)
 	mux.HandleFunc(setPath, n.handleSetUpdate)
+	mux.HandleFunc(pingPath, n.handlePing)
+	mux.HandleFunc(syncPath, n.handleSync)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -91,6 +146,65 @@ func NewNode(cfg Config) (*Node, error) {
 	n.mux = mux
 	return n, nil
 }
+
+// startLoops launches the heartbeat and anti-entropy goroutine; stopLoops
+// (idempotent) halts it. The Cluster drives both.
+func (n *Node) startLoops() { go n.gossipLoop() }
+
+func (n *Node) stopLoops() { n.stopOnce.Do(func() { close(n.stop) }) }
+
+// gossipLoop drives active failure detection and state anti-entropy:
+// heartbeats go to every peer (dead ones included — that is how a
+// restarted node is re-detected), and each sync tick pushes the full
+// server-set state to one peer, round robin.
+func (n *Node) gossipLoop() {
+	hb := time.NewTicker(n.cfg.Health.HeartbeatEvery)
+	defer hb.Stop()
+	sync := time.NewTicker(n.cfg.Health.SyncEvery)
+	defer sync.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-hb.C:
+			n.gossip.broadcast(pingPath, &Ping{Node: n.cfg.ID, Load: n.Load()}, nil, 1)
+		case <-sync.C:
+			n.syncToPeer()
+		}
+	}
+}
+
+// syncToPeer pushes this replica's full server-set state to the next peer
+// in round-robin order. Dead peers are not skipped: a rejoining node
+// recovers its state through exactly this path.
+func (n *Node) syncToPeer() {
+	sets := n.state.exportSets()
+	if len(sets) == 0 || len(n.cfg.Peers) < 2 {
+		return
+	}
+	n.syncMu.Lock()
+	peer := n.syncRR % len(n.cfg.Peers)
+	n.syncRR++
+	if peer == n.cfg.ID {
+		peer = n.syncRR % len(n.cfg.Peers)
+		n.syncRR++
+	}
+	n.syncMu.Unlock()
+	n.gossip.sendTo(peer, syncPath, sets, 1)
+}
+
+// peerDied is the failure detector's dead-transition hook: evict the peer
+// from every server set and gossip the repaired sets so the cluster
+// reconverges on live replicas only.
+func (n *Node) peerDied(peer int) {
+	updates := n.state.evictNode(peer)
+	if len(updates) > 0 {
+		go n.gossip.broadcast(syncPath, updates, n.peerDead, 0)
+	}
+}
+
+// peerDead is the skip filter for routine gossip.
+func (n *Node) peerDead(i int) bool { return !n.health.alive(i) }
 
 // Handler returns the node's HTTP handler.
 func (n *Node) Handler() http.Handler { return n.mux }
@@ -104,23 +218,15 @@ func (n *Node) Load() int { return int(n.open.Load()) }
 // ServerSet exposes the node's replica of a file's server set (tests).
 func (n *Node) ServerSet(path string) []int { return n.state.serverSet(path) }
 
-// alive reports whether this node believes peer i is up.
-func (n *Node) alive(i int) bool {
-	if i == n.cfg.ID {
-		return true
-	}
-	n.deadMu.RLock()
-	defer n.deadMu.RUnlock()
-	return !n.dead[i]
-}
+// PeerHealth exposes the node's belief about a peer (tests, /statsz).
+func (n *Node) PeerHealth(i int) PeerState { return n.health.state(i) }
 
-// MarkDead records that a peer is down (also set automatically when a
-// hand-off to it fails).
-func (n *Node) MarkDead(i int) {
-	n.deadMu.Lock()
-	n.dead[i] = true
-	n.deadMu.Unlock()
-}
+// alive reports whether this node believes peer i is up.
+func (n *Node) alive(i int) bool { return n.health.alive(i) }
+
+// MarkDead records that a peer is down immediately, bypassing the failure
+// budget (the failure detector normally does this itself).
+func (n *Node) MarkDead(i int) { n.health.forceDead(i) }
 
 // handleFiles is the public entry point: run the distribution algorithm,
 // then serve locally or hand off.
@@ -132,7 +238,7 @@ func (n *Node) handleFiles(w http.ResponseWriter, r *http.Request) {
 	}
 	dec := n.state.decide(path, n.alive)
 	if dec.SetChanged != nil {
-		go n.gossip.broadcast(setPath, dec.SetChanged)
+		go n.gossip.broadcast(setPath, dec.SetChanged, n.peerDead, 0)
 	}
 	if dec.Service == n.cfg.ID {
 		n.served.Add(1)
@@ -140,11 +246,17 @@ func (n *Node) handleFiles(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n.proxied.Add(1)
-	if err := n.proxyTo(dec.Service, path, w); err != nil {
-		// The chosen node is unreachable: remember that, serve the client
-		// ourselves, and let the next decision rebuild the server set.
-		n.MarkDead(dec.Service)
-		n.fallbacks.Add(1)
+	if err := n.proxyWithRetry(dec.Service, path, w); err != nil {
+		if errors.Is(err, errProxyStarted) {
+			// The peer died mid-response: the status line is already on the
+			// wire, so nothing can be rewritten. The client sees a truncated
+			// body and retries against another entry node.
+			return
+		}
+		// The chosen node is unreachable: the failure detector has been
+		// told on every attempt; serve the client ourselves and let the
+		// next decision rebuild the server set.
+		n.failovers.Add(1)
 		n.served.Add(1)
 		n.serveLocal(w, path)
 	}
@@ -193,21 +305,48 @@ func (n *Node) serveLocal(w http.ResponseWriter, path string) {
 func (n *Node) trackLoad(delta int64) {
 	v := int(n.open.Add(delta))
 	if n.state.setLocalLoad(v) {
-		go n.gossip.broadcast(loadPath, &LoadUpdate{Node: n.cfg.ID, Load: v})
+		go n.gossip.broadcast(loadPath, &LoadUpdate{Node: n.cfg.ID, Load: v}, n.peerDead, 0)
 	}
 }
 
-// proxyTo relays the request to the service node's internal endpoint and
-// streams the response back — the user-level equivalent of connection
-// hand-off.
-func (n *Node) proxyTo(svc int, path string, w http.ResponseWriter) error {
+// errProxyStarted marks a hand-off that failed after response bytes were
+// already written: no local fallback is possible.
+var errProxyStarted = errors.New("native: hand-off failed mid-response")
+
+// proxyWithRetry relays the request to the service node with bounded
+// exponential backoff + jitter, feeding every outcome to the failure
+// detector. It gives up early once the peer is declared dead.
+func (n *Node) proxyWithRetry(svc int, path string, w http.ResponseWriter) error {
 	base := n.cfg.Peers[svc]
 	if base == "" {
 		return fmt.Errorf("native: no address for node %d", svc)
 	}
+	for attempt := 1; ; attempt++ {
+		started, err := n.proxyOnce(base, path, w)
+		if err == nil {
+			n.health.observeSuccess(svc)
+			return nil
+		}
+		n.health.observeFailure(svc)
+		if started {
+			return errProxyStarted
+		}
+		if attempt >= n.cfg.Retry.Attempts || !n.health.alive(svc) {
+			return err
+		}
+		n.retries.Add(1)
+		time.Sleep(n.cfg.Retry.backoff(attempt, n.rng))
+	}
+}
+
+// proxyOnce relays the request to the service node's internal endpoint and
+// streams the response back — the user-level equivalent of connection
+// hand-off. started reports whether any part of the response reached the
+// client (after which a retry or fallback would corrupt it).
+func (n *Node) proxyOnce(base, path string, w http.ResponseWriter) (started bool, err error) {
 	resp, err := n.client.Get(base + "/local" + path)
 	if err != nil {
-		return err
+		return false, err
 	}
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
@@ -217,8 +356,10 @@ func (n *Node) proxyTo(svc int, path string, w http.ResponseWriter) error {
 	}
 	w.Header().Set("X-Forwarded-By", fmt.Sprintf("%d", n.cfg.ID))
 	w.WriteHeader(resp.StatusCode)
-	_, err = io.Copy(w, resp.Body)
-	return err
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return true, err
+	}
+	return true, nil
 }
 
 func (n *Node) handleLoadUpdate(w http.ResponseWriter, r *http.Request) {
@@ -237,23 +378,71 @@ func (n *Node) handleSetUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	n.state.applySet(u)
+	n.applyFilteredSet(u)
 	w.WriteHeader(http.StatusOK)
 }
 
-// Stats is the node's observable state, served at /statsz.
+// applyFilteredSet installs a gossiped set after dropping members this node
+// believes are dead; a filtered update gets a version bump so the local
+// repair outranks the stale original during anti-entropy.
+func (n *Node) applyFilteredSet(u SetUpdate) {
+	if len(u.Nodes) > 0 {
+		if kept := keepAlive(u.Nodes, n.alive); len(kept) != len(u.Nodes) {
+			u.Nodes = kept
+			u.Version++
+		}
+	}
+	n.state.applySet(u)
+}
+
+// handlePing receives a gossip heartbeat: proof the sender is alive (the
+// rejoin path for restarted nodes) plus a fresh load sample.
+func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
+	var u Ping
+	if err := decodeJSON(r, &u, 1<<10); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n.health.observeSuccess(u.Node)
+	n.state.applyLoad(u.Node, u.Load)
+	w.WriteHeader(http.StatusOK)
+}
+
+// handleSync receives a peer's full server-set state (anti-entropy) and
+// merges it version by version.
+func (n *Node) handleSync(w http.ResponseWriter, r *http.Request) {
+	var us []SetUpdate
+	if err := decodeJSON(r, &us, 1<<22); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, u := range us {
+		n.applyFilteredSet(u)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Stats is one node's observable state. Field vocabulary matches the
+// simulator's server.Result where the concepts overlap (Served, Proxied,
+// Received, HitRate), plus the fault-tolerance counters: Retries (hand-off
+// delivery retries), Failovers (hand-offs exhausted and served locally),
+// and DeadPeers (peers this node currently believes dead).
 type Stats struct {
-	ID        int     `json:"id"`
-	Load      int     `json:"load"`
-	Served    uint64  `json:"served"`
-	Proxied   uint64  `json:"proxied"`
-	Received  uint64  `json:"received"`
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Fallbacks uint64  `json:"fallbacks"`
-	HitRate   float64 `json:"hit_rate"`
-	CacheUsed int64   `json:"cache_used"`
-	GossipOut uint64  `json:"gossip_out"`
+	ID          int     `json:"id"`
+	Load        int     `json:"load"`
+	Served      uint64  `json:"served"`
+	Proxied     uint64  `json:"proxied"`
+	Received    uint64  `json:"received"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Retries     uint64  `json:"retries"`
+	Failovers   uint64  `json:"failovers"`
+	DeadPeers   int     `json:"dead_peers"`
+	HitRate     float64 `json:"hit_rate"`
+	CacheUsed   int64   `json:"cache_used"`
+	GossipOut   uint64  `json:"gossip_out"`
+	GossipFail  uint64  `json:"gossip_fail"`
+	GossipRetry uint64  `json:"gossip_retry"`
 }
 
 // Snapshot returns current statistics.
@@ -263,25 +452,56 @@ func (n *Node) Snapshot() Stats {
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
 	}
-	sent, _ := n.gossip.stats()
+	sent, failed, retried := n.gossip.stats()
 	return Stats{
-		ID:        n.cfg.ID,
-		Load:      n.Load(),
-		Served:    n.served.Load(),
-		Proxied:   n.proxied.Load(),
-		Received:  n.received.Load(),
-		Hits:      hits,
-		Misses:    misses,
-		Fallbacks: n.fallbacks.Load(),
-		HitRate:   rate,
-		CacheUsed: n.cache.used(),
-		GossipOut: sent,
+		ID:          n.cfg.ID,
+		Load:        n.Load(),
+		Served:      n.served.Load(),
+		Proxied:     n.proxied.Load(),
+		Received:    n.received.Load(),
+		Hits:        hits,
+		Misses:      misses,
+		Retries:     n.retries.Load(),
+		Failovers:   n.failovers.Load(),
+		DeadPeers:   n.health.deadCount(),
+		HitRate:     rate,
+		CacheUsed:   n.cache.used(),
+		GossipOut:   sent,
+		GossipFail:  failed,
+		GossipRetry: retried,
 	}
+}
+
+// PeerView is one row of a node's cluster view: its belief about a peer.
+type PeerView struct {
+	Node  int    `json:"node"`
+	State string `json:"state"`
+	Load  int    `json:"load"` // this node's (possibly stale) view
+}
+
+// ClusterView is the full cluster snapshot a node serves at /statsz: its
+// own counters plus its view of every peer's health and load.
+type ClusterView struct {
+	Self  Stats      `json:"self"`
+	Peers []PeerView `json:"peers"`
+}
+
+// ClusterSnapshot returns the node's view of the whole cluster.
+func (n *Node) ClusterSnapshot() ClusterView {
+	states := n.health.snapshot()
+	view := ClusterView{Self: n.Snapshot(), Peers: make([]PeerView, 0, len(states))}
+	for i, s := range states {
+		if i == n.cfg.ID {
+			continue
+		}
+		view.Peers = append(view.Peers, PeerView{Node: i, State: s.String(), Load: n.state.viewLoad(i)})
+	}
+	return view
 }
 
 func (n *Node) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(n.Snapshot())
+	_ = json.NewEncoder(w).Encode(n.ClusterSnapshot())
 }
 
 // contentCache is a thread-safe byte-capacity LRU holding file contents.

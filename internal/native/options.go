@@ -1,0 +1,202 @@
+// Functional-option construction for the live cluster, mirroring the
+// simulator's server.NewConfig: native.Start(native.WithNodes(4),
+// native.WithStore(st), ...) replaces the old two-struct
+// ClusterConfig/Options duality. Options validate eagerly and Start
+// returns the first error instead of silently substituting defaults.
+package native
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Option configures Start. Options validate their arguments; Start returns
+// the first error.
+type Option func(*clusterConfig) error
+
+// clusterConfig is the resolved configuration Start builds nodes from.
+type clusterConfig struct {
+	nodes        int
+	store        Store
+	cacheBytes   int64
+	l2s          Options
+	missPenalty  time.Duration
+	servePenalty time.Duration
+	health       HealthOptions
+	retry        RetryPolicy
+	faults       *FaultInjector
+	seed         int64
+}
+
+func defaultClusterConfig() clusterConfig {
+	return clusterConfig{
+		nodes:      1,
+		cacheBytes: 32 << 20,
+		l2s:        DefaultOptions(),
+		health:     DefaultHealthOptions(),
+		retry:      DefaultRetryPolicy(),
+		seed:       1,
+	}
+}
+
+// WithNodes sets the cluster size.
+func WithNodes(n int) Option {
+	return func(c *clusterConfig) error {
+		if n < 1 {
+			return fmt.Errorf("native: need at least one node, got %d", n)
+		}
+		c.nodes = n
+		return nil
+	}
+}
+
+// WithStore sets the backing content source (required).
+func WithStore(s Store) Option {
+	return func(c *clusterConfig) error {
+		if s == nil {
+			return errors.New("native: WithStore needs a non-nil store")
+		}
+		c.store = s
+		return nil
+	}
+}
+
+// WithCacheBytes sets the per-node main-memory cache capacity.
+func WithCacheBytes(bytes int64) Option {
+	return func(c *clusterConfig) error {
+		if bytes <= 0 {
+			return fmt.Errorf("native: cache capacity must be positive, got %d", bytes)
+		}
+		c.cacheBytes = bytes
+		return nil
+	}
+}
+
+// WithCacheMB sets the per-node cache capacity in megabytes.
+func WithCacheMB(mb int64) Option {
+	return func(c *clusterConfig) error {
+		if mb <= 0 {
+			return fmt.Errorf("native: cache capacity must be positive, got %d MB", mb)
+		}
+		c.cacheBytes = mb << 20
+		return nil
+	}
+}
+
+// WithThresholds sets the L2S overload threshold T and underload threshold
+// t (the paper's Section 4 parameters).
+func WithThresholds(T, lowT int) Option {
+	return func(c *clusterConfig) error {
+		if T <= 0 || lowT < 0 || lowT >= T {
+			return fmt.Errorf("native: thresholds need T > t >= 0, got T=%d t=%d", T, lowT)
+		}
+		c.l2s.T, c.l2s.LowT = T, lowT
+		return nil
+	}
+}
+
+// WithBroadcastDelta sets the load drift that triggers a gossip broadcast.
+func WithBroadcastDelta(d int) Option {
+	return func(c *clusterConfig) error {
+		if d < 1 {
+			return fmt.Errorf("native: broadcast delta must be >= 1, got %d", d)
+		}
+		c.l2s.BroadcastDelta = d
+		return nil
+	}
+}
+
+// WithShrinkAfter sets the server-set stability window before shrinking.
+func WithShrinkAfter(d time.Duration) Option {
+	return func(c *clusterConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("native: shrink window must be positive, got %v", d)
+		}
+		c.l2s.ShrinkAfter = d
+		return nil
+	}
+}
+
+// WithL2S replaces all L2S tunables at once.
+func WithL2S(o Options) Option {
+	return func(c *clusterConfig) error {
+		if o.T <= 0 || o.LowT < 0 || o.LowT >= o.T {
+			return fmt.Errorf("native: L2S options need T > t >= 0, got T=%d t=%d", o.T, o.LowT)
+		}
+		if o.BroadcastDelta < 1 {
+			return fmt.Errorf("native: L2S options need BroadcastDelta >= 1, got %d", o.BroadcastDelta)
+		}
+		if o.ShrinkAfter <= 0 {
+			return fmt.Errorf("native: L2S options need a positive ShrinkAfter, got %v", o.ShrinkAfter)
+		}
+		c.l2s = o
+		return nil
+	}
+}
+
+// WithMissPenalty sets the artificial per-miss disk delay.
+func WithMissPenalty(d time.Duration) Option {
+	return func(c *clusterConfig) error {
+		if d < 0 {
+			return fmt.Errorf("native: miss penalty must be >= 0, got %v", d)
+		}
+		c.missPenalty = d
+		return nil
+	}
+}
+
+// WithServePenalty sets the artificial per-serve transmit delay.
+func WithServePenalty(d time.Duration) Option {
+	return func(c *clusterConfig) error {
+		if d < 0 {
+			return fmt.Errorf("native: serve penalty must be >= 0, got %v", d)
+		}
+		c.servePenalty = d
+		return nil
+	}
+}
+
+// WithHealth replaces the failure-detection tuning.
+func WithHealth(h HealthOptions) Option {
+	return func(c *clusterConfig) error {
+		if err := h.validate(); err != nil {
+			return err
+		}
+		c.health = h
+		return nil
+	}
+}
+
+// WithRetry replaces the hand-off/control retry budget.
+func WithRetry(r RetryPolicy) Option {
+	return func(c *clusterConfig) error {
+		if err := r.validate(); err != nil {
+			return err
+		}
+		c.retry = r
+		return nil
+	}
+}
+
+// WithFaults wires a fault injector into every node's outbound transports.
+func WithFaults(fi *FaultInjector) Option {
+	return func(c *clusterConfig) error {
+		if fi == nil {
+			return errors.New("native: WithFaults needs a non-nil injector")
+		}
+		c.faults = fi
+		return nil
+	}
+}
+
+// WithSeed seeds backoff jitter deterministically (node i derives seed+i).
+func WithSeed(seed int64) Option {
+	return func(c *clusterConfig) error {
+		if seed == 0 {
+			return errors.New("native: seed must be non-zero")
+		}
+		c.seed = seed
+		return nil
+	}
+}

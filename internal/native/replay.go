@@ -14,7 +14,8 @@ import (
 // ReplayResult summarizes a trace replay against a live cluster.
 type ReplayResult struct {
 	Completed uint64
-	Errors    uint64
+	Errors    uint64 // client-visible failures after all retries
+	Retries   uint64 // transparent client-side retries (next DNS address)
 	Wall      time.Duration
 	Rate      float64 // completed requests per wall-clock second
 }
@@ -46,7 +47,7 @@ func Replay(cluster *Cluster, tr *trace.Trace, concurrency int) (ReplayResult, e
 		return ReplayResult{}, err
 	}
 	start := time.Now()
-	var idx, completed, errs atomic.Uint64
+	var idx, completed, errs, retried atomic.Uint64
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
@@ -58,15 +59,36 @@ func Replay(cluster *Cluster, tr *trace.Trace, concurrency int) (ReplayResult, e
 				if i >= uint64(tr.NumRequests()) {
 					return
 				}
-				url := fmt.Sprintf("%s/files/f/%d", cluster.NextURL(), tr.Requests[i])
-				resp, err := client.Get(url)
-				if err != nil {
-					errs.Add(1)
-					continue
+				path := fmt.Sprintf("/files/f/%d", tr.Requests[i])
+				// A real client whose connection fails (or whose response is
+				// truncated by a node crash) retries against the next address
+				// round-robin DNS gave it. Retries walk the address list in
+				// order so every node is tried before giving up; only a
+				// request that fails at every address is a client-visible
+				// error.
+				urls := cluster.URLs()
+				ok := false
+				for attempt := 0; attempt <= len(urls); attempt++ {
+					var url string
+					if attempt == 0 {
+						url = cluster.NextURL()
+					} else {
+						retried.Add(1)
+						url = urls[(int(i)+attempt)%len(urls)]
+					}
+					resp, err := client.Get(url + path)
+					if err != nil {
+						continue
+					}
+					_, cerr := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if cerr != nil || resp.StatusCode >= http.StatusInternalServerError {
+						continue
+					}
+					ok = resp.StatusCode == http.StatusOK
+					break
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode == http.StatusOK {
+				if ok {
 					completed.Add(1)
 				} else {
 					errs.Add(1)
@@ -79,6 +101,7 @@ func Replay(cluster *Cluster, tr *trace.Trace, concurrency int) (ReplayResult, e
 	res := ReplayResult{
 		Completed: completed.Load(),
 		Errors:    errs.Load(),
+		Retries:   retried.Load(),
 		Wall:      wall,
 	}
 	if wall > 0 {

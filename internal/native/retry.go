@@ -1,0 +1,76 @@
+package native
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds how hard the node tries to deliver hand-offs and
+// control messages before declaring failure.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, the first included.
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles each
+	// further attempt (with jitter) up to Max.
+	Base time.Duration
+	// Max caps a single backoff sleep.
+	Max time.Duration
+}
+
+// DefaultRetryPolicy returns the live-traffic retry budget: three attempts
+// with 10 ms initial backoff capped at 200 ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, Base: 10 * time.Millisecond, Max: 200 * time.Millisecond}
+}
+
+func (p RetryPolicy) validate() error {
+	if p.Attempts < 1 {
+		return fmt.Errorf("native: retry attempts must be >= 1, got %d", p.Attempts)
+	}
+	if p.Base <= 0 {
+		return fmt.Errorf("native: retry base backoff must be positive, got %v", p.Base)
+	}
+	if p.Max < p.Base {
+		return fmt.Errorf("native: retry max backoff (%v) must be >= base (%v)", p.Max, p.Base)
+	}
+	return nil
+}
+
+// backoff returns the sleep before attempt attempt+1 (attempt counts from
+// 1): exponential doubling with full jitter in [d/2, d], capped at Max.
+func (p RetryPolicy) backoff(attempt int, rng *lockedRand) time.Duration {
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// lockedRand is a mutex-guarded rand.Rand shared by a node's goroutines,
+// seeded deterministically so fault schedules and jitter are reproducible.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Float64()
+}

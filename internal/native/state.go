@@ -41,6 +41,12 @@ type state struct {
 type fileSet struct {
 	nodes    []int
 	modified time.Time
+	version  uint64
+}
+
+// update renders the set as a gossipable full-state message.
+func (f *fileSet) update(path string) *SetUpdate {
+	return &SetUpdate{Path: path, Nodes: append([]int(nil), f.nodes...), Version: f.version}
 }
 
 func newState(self, n int, opts Options) *state {
@@ -74,19 +80,35 @@ func (s *state) decide(path string, alive func(int) bool) decision {
 	overloaded := func(n int) bool { return load(n) > s.opts.T }
 
 	set := s.sets[path]
-	if set == nil || len(set.nodes) == 0 || allDead(set.nodes, alive) {
+	dirty := false
+	if set != nil && len(set.nodes) > 0 {
+		// Repair: evict members this replica believes are dead, so traffic
+		// stops flowing at crashed nodes and the change gossips outward.
+		if kept := keepAlive(set.nodes, alive); len(kept) != len(set.nodes) {
+			set.nodes = kept
+			set.modified = s.now()
+			set.version++
+			dirty = true
+		}
+	}
+
+	if set == nil || len(set.nodes) == 0 {
+		var base uint64
+		if set != nil {
+			base = set.version
+		}
 		svc := s.self
 		if overloaded(s.self) || !alive(s.self) {
 			if m := argminAlive(s.n, load, alive); m >= 0 {
 				svc = m
 			}
 		}
-		s.sets[path] = &fileSet{nodes: []int{svc}, modified: s.now()}
-		return decision{Service: svc, SetChanged: &SetUpdate{Path: path, Nodes: []int{svc}}}
+		set = &fileSet{nodes: []int{svc}, modified: s.now(), version: base + 1}
+		s.sets[path] = set
+		return decision{Service: svc, SetChanged: set.update(path)}
 	}
 
 	var svc int
-	var changed *SetUpdate
 	switch {
 	case contains(set.nodes, s.self) && !overloaded(s.self) && alive(s.self):
 		svc = s.self
@@ -96,7 +118,8 @@ func (s *state) decide(path string, alive func(int) bool) decision {
 			if m := argminAlive(s.n, load, alive); m >= 0 && !contains(set.nodes, m) {
 				set.nodes = append(set.nodes, m)
 				set.modified = s.now()
-				changed = &SetUpdate{Path: path, Nodes: append([]int(nil), set.nodes...)}
+				set.version++
+				dirty = true
 				n = m
 			}
 		}
@@ -107,7 +130,12 @@ func (s *state) decide(path string, alive func(int) bool) decision {
 		s.now().Sub(set.modified) > s.opts.ShrinkAfter {
 		removeMostLoaded(set, svc, load)
 		set.modified = s.now()
-		changed = &SetUpdate{Path: path, Nodes: append([]int(nil), set.nodes...)}
+		set.version++
+		dirty = true
+	}
+	var changed *SetUpdate
+	if dirty {
+		changed = set.update(path)
 	}
 	return decision{Service: svc, SetChanged: changed}
 }
@@ -140,9 +168,14 @@ func (s *state) applyLoad(node, load int) {
 	s.mu.Unlock()
 }
 
-// applySet installs a gossiped server-set replica.
+// applySet installs a gossiped server-set replica. Replicas carry a
+// version; an incoming update wins only when its version is newer, or when
+// versions tie and its member list orders strictly higher (a deterministic
+// tie-break, so concurrent same-version writers converge on one value).
+// An empty member list is a tombstone: the next decision for the path
+// rebuilds the set at a higher version.
 func (s *state) applySet(u SetUpdate) {
-	if u.Path == "" || len(u.Nodes) == 0 {
+	if u.Path == "" {
 		return
 	}
 	for _, n := range u.Nodes {
@@ -151,8 +184,61 @@ func (s *state) applySet(u SetUpdate) {
 		}
 	}
 	s.mu.Lock()
-	s.sets[u.Path] = &fileSet{nodes: append([]int(nil), u.Nodes...), modified: s.now()}
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if cur := s.sets[u.Path]; cur != nil {
+		if u.Version < cur.version {
+			return
+		}
+		if u.Version == cur.version && cmpNodes(u.Nodes, cur.nodes) <= 0 {
+			return
+		}
+	}
+	s.sets[u.Path] = &fileSet{
+		nodes:    append([]int(nil), u.Nodes...),
+		modified: s.now(),
+		version:  u.Version,
+	}
+}
+
+// evictNode removes a (now dead) node from every server set, bumping each
+// touched set's version so the repair wins over stale replicas elsewhere.
+// It returns the surviving non-empty sets that changed, for gossiping.
+func (s *state) evictNode(dead int) []SetUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []SetUpdate
+	for path, set := range s.sets {
+		if !contains(set.nodes, dead) {
+			continue
+		}
+		kept := make([]int, 0, len(set.nodes)-1)
+		for _, n := range set.nodes {
+			if n != dead {
+				kept = append(kept, n)
+			}
+		}
+		set.nodes = kept
+		set.modified = s.now()
+		set.version++
+		if len(kept) > 0 {
+			out = append(out, *set.update(path))
+		}
+	}
+	return out
+}
+
+// exportSets snapshots every server set for anti-entropy sync, tombstones
+// (emptied sets awaiting a rebuild) included — a tombstone must propagate,
+// or a replica holding one at a high version would reject peers' live sets
+// forever while never sharing its own.
+func (s *state) exportSets() []SetUpdate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SetUpdate, 0, len(s.sets))
+	for path, set := range s.sets {
+		out = append(out, *set.update(path))
+	}
+	return out
 }
 
 // serverSet returns a copy of the replica's set for a path.
@@ -173,13 +259,41 @@ func (s *state) viewLoad(n int) int {
 	return s.loads[n]
 }
 
-func allDead(nodes []int, alive func(int) bool) bool {
-	for _, n := range nodes {
-		if alive(n) {
-			return false
+// keepAlive filters a member list down to the nodes alive believes in; it
+// returns the input slice unchanged when nothing was filtered.
+func keepAlive(nodes []int, alive func(int) bool) []int {
+	for i, n := range nodes {
+		if !alive(n) {
+			kept := append([]int(nil), nodes[:i]...)
+			for _, m := range nodes[i+1:] {
+				if alive(m) {
+					kept = append(kept, m)
+				}
+			}
+			return kept
 		}
 	}
-	return true
+	return nodes
+}
+
+// cmpNodes totally orders member lists (by length, then elementwise) so
+// same-version replicas can tie-break deterministically.
+func cmpNodes(a, b []int) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 func contains(nodes []int, n int) bool {
