@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json
+.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json cover fuzz
 
 all: build
 
@@ -49,3 +49,30 @@ bench-hot:
 # performance PRs diff against.
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_simcore.json
+
+# cover enforces a per-package statement-coverage floor on the model and
+# infrastructure packages (commands are exercised end to end, not unit by
+# unit, so they are exempt).
+COVER_MIN ?= 60
+COVER_PKGS = ./internal/cache ./internal/core ./internal/netsim ./internal/obs \
+             ./internal/queuemodel ./internal/runner ./internal/server \
+             ./internal/sim ./internal/stats ./internal/trace ./internal/zipf
+
+cover:
+	@$(GO) test -coverprofile=cover.out $(COVER_PKGS) | tee cover.txt
+	@awk -v min=$(COVER_MIN) ' \
+		/coverage:/ { \
+			pct = $$0; sub(/.*coverage: /, "", pct); sub(/%.*/, "", pct); \
+			if (pct + 0 < min) { printf "FAIL: %s below %s%% floor\n", $$2, min; bad = 1 } \
+		} \
+		END { exit bad }' cover.txt
+	@echo "cover: every package at or above $(COVER_MIN)%"
+
+# fuzz gives each fuzz target a short budget on top of its checked-in seed
+# corpus; crashers land in testdata/fuzz/ as regression tests.
+FUZZTIME ?= 5s
+
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseCLFLine -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzRead -fuzztime=$(FUZZTIME) ./internal/trace
+	$(GO) test -run=^$$ -fuzz=FuzzSolveFiles -fuzztime=$(FUZZTIME) ./internal/zipf

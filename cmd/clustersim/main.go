@@ -19,11 +19,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/server"
@@ -54,6 +56,10 @@ func main() {
 		seed     = flag.Int64("seed", 0, "base RNG seed (0: policy defaults)")
 		workers  = flag.Int("workers", 0, "concurrent simulations in comparison mode (0: all cores)")
 		verbose  = flag.Bool("v", false, "per-node detail")
+
+		seriesOut = flag.String("series", "", "write sampled per-resource time series as JSONL to this file (single-system mode)")
+		chromeOut = flag.String("chrometrace", "", "write the sampled series as a Chrome trace_event file (single-system mode)")
+		seriesDt  = flag.Float64("seriesdt", 0.01, "sampling interval in simulated seconds for -series/-chrometrace")
 	)
 	flag.Parse()
 
@@ -109,12 +115,22 @@ func main() {
 		names = policy.Names()
 	}
 	if len(names) > 1 {
+		if *seriesOut != "" || *chromeOut != "" {
+			fatalIf(fmt.Errorf("-series/-chrometrace need a single system, got %q", *system))
+		}
 		compare(names, buildConfig, tr, *workers, *memMB)
 		return
 	}
 
-	r, err := server.Run(buildConfig(names[0]), tr)
+	cfg := buildConfig(names[0])
+	var rec *obs.Series
+	if *seriesOut != "" || *chromeOut != "" {
+		rec = obs.NewSeries(*seriesDt)
+		cfg.Series = rec
+	}
+	r, err := server.Run(cfg, tr)
 	fatalIf(err)
+	fatalIf(writeSeries(rec, *seriesOut, *chromeOut))
 
 	fmt.Printf("system=%s nodes=%d trace=%s requests=%d mem=%dMB\n",
 		r.System, r.Nodes, tr.Name, tr.NumRequests(), *memMB)
@@ -149,6 +165,31 @@ func main() {
 			fmt.Printf("  node %2d: %5.1f%%\n", i, u*100)
 		}
 	}
+}
+
+// writeSeries exports the recorded series to the requested artifact files.
+func writeSeries(rec *obs.Series, seriesOut, chromeOut string) error {
+	if rec == nil {
+		return nil
+	}
+	write := func(path string, emit func(io.Writer) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(seriesOut, rec.WriteJSONL); err != nil {
+		return err
+	}
+	return write(chromeOut, rec.WriteChromeTrace)
 }
 
 // compare runs every named policy over the same workload on the parallel

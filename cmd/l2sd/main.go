@@ -59,6 +59,7 @@ func main() {
 		duprate    = flag.Float64("duprate", 0, "fault injection: duplicate this fraction of control messages")
 		faultseed  = flag.Int64("faultseed", 1, "fault injection / jitter RNG seed")
 		jsonOut    = flag.Bool("json", false, "print final cluster stats as JSON")
+		metrics    = flag.Bool("metrics", false, "dump every node's /metricsz Prometheus exposition with the final stats")
 	)
 	flag.Parse()
 
@@ -136,12 +137,14 @@ func main() {
 		fmt.Printf("l2sd: %d completed (%d errors, %d client retries) in %v: %.0f req/s\n",
 			res.Completed, res.Errors, res.Retries, res.Wall.Round(time.Millisecond), res.Rate)
 		printStats(cluster, fi, *jsonOut)
+		dumpMetrics(cluster, *metrics)
 		return
 	}
 
 	if *demo > 0 {
 		runDemo(cluster, *demo, *workers, *files, *alpha)
 		printStats(cluster, fi, *jsonOut)
+		dumpMetrics(cluster, *metrics)
 		return
 	}
 
@@ -150,6 +153,22 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	printStats(cluster, fi, *jsonOut)
+	dumpMetrics(cluster, *metrics)
+}
+
+// dumpMetrics prints each node's Prometheus exposition — the same text
+// /metricsz serves over HTTP, read straight from the node's registry so it
+// works even after the HTTP listeners have begun shutting down.
+func dumpMetrics(cluster *native.Cluster, enabled bool) {
+	if !enabled {
+		return
+	}
+	for i := 0; i < cluster.Len(); i++ {
+		fmt.Printf("# node %d metrics\n", i)
+		if err := cluster.Node(i).WriteMetrics(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "l2sd: metrics:", err)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -48,10 +49,31 @@ type LRU struct {
 	evictions     uint64 // capacity evictions only
 	invalidations uint64 // explicit Evict calls that removed a file
 
+	// m mirrors the statistics onto shared observability counters; the
+	// zero value (all nil) is the disabled, no-op path.
+	m Metrics
+
 	// OnEvict, when non-nil, is called for every removal — capacity
 	// evictions and explicit invalidations alike.
 	OnEvict func(id FileID, size int64)
 }
+
+// Metrics is an optional set of observability counters the cache mirrors
+// its statistics onto, on top of the per-cache counters that ResetStats
+// zeroes: several caches may share one set, accumulating cluster-wide
+// totals. Nil fields are no-ops, so a zero Metrics disables mirroring at
+// the cost of one predictable branch per event.
+type Metrics struct {
+	Hits          *obs.Counter
+	Misses        *obs.Counter
+	Evictions     *obs.Counter
+	Invalidations *obs.Counter
+}
+
+// SetMetrics attaches (or, with the zero Metrics, detaches) observability
+// counters. Unlike the built-in statistics, attached counters are never
+// reset by ResetStats.
+func (c *LRU) SetMetrics(m Metrics) { c.m = m }
 
 // NewLRU returns an empty cache holding at most capacity bytes.
 func NewLRU(capacity int64) *LRU {
@@ -92,6 +114,11 @@ func (c *LRU) Contains(id FileID) bool {
 func (c *LRU) Access(id FileID, size int64) bool {
 	hit := c.touch(id, size)
 	c.hits.Observe(hit)
+	if hit {
+		c.m.Hits.Inc()
+	} else {
+		c.m.Misses.Inc()
+	}
 	return hit
 }
 
@@ -135,6 +162,7 @@ func (c *LRU) Evict(id FileID) bool {
 		return false
 	}
 	c.invalidations++
+	c.m.Invalidations.Inc()
 	c.remove(i)
 	return true
 }
@@ -144,6 +172,7 @@ func (c *LRU) evictOldest() {
 		panic("cache: eviction from empty cache (size accounting bug)")
 	}
 	c.evictions++
+	c.m.Evictions.Inc()
 	c.remove(c.tail)
 }
 

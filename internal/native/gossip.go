@@ -7,8 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Control-plane messages. All are tiny JSON documents POSTed to the peers'
@@ -59,22 +60,29 @@ type gossiper struct {
 	// node wires it to its health tracker.
 	onResult func(peer int, ok bool)
 
-	sent     atomic.Uint64 // messages attempted (not per-retry)
-	failures atomic.Uint64 // messages undelivered after the retry budget
-	retries  atomic.Uint64 // extra attempts beyond the first
+	// Delivery counters, homed on the owning node's metric registry:
+	// messages attempted (not per-retry), messages undelivered after the
+	// retry budget, and extra attempts beyond the first.
+	sent, failures, retries *obs.Counter
 }
 
-func newGossiper(self int, peers []string, retry RetryPolicy, transport http.RoundTripper, rng *lockedRand) *gossiper {
+func newGossiper(self int, peers []string, retry RetryPolicy, transport http.RoundTripper, rng *lockedRand, m *nodeMetrics) *gossiper {
 	if rng == nil {
 		rng = newLockedRand(int64(self) + 1)
 	}
+	if m == nil {
+		m = newNodeMetrics()
+	}
 	return &gossiper{
-		self:    self,
-		peers:   peers,
-		client:  &http.Client{Timeout: 2 * time.Second, Transport: transport},
-		timeout: 2 * time.Second,
-		retry:   retry,
-		rng:     rng,
+		sent:     m.gossipSent,
+		failures: m.gossipFailed,
+		retries:  m.gossipRetries,
+		self:     self,
+		peers:    peers,
+		client:   &http.Client{Timeout: 2 * time.Second, Transport: transport},
+		timeout:  2 * time.Second,
+		retry:    retry,
+		rng:      rng,
 	}
 }
 
@@ -123,7 +131,7 @@ func (g *gossiper) send(peer int, url string, body []byte, attempts int) bool {
 	if attempts <= 0 {
 		attempts = g.retry.Attempts
 	}
-	g.sent.Add(1)
+	g.sent.Inc()
 	for attempt := 1; ; attempt++ {
 		ok := g.post(url, body)
 		if g.onResult != nil {
@@ -133,10 +141,10 @@ func (g *gossiper) send(peer int, url string, body []byte, attempts int) bool {
 			return true
 		}
 		if attempt >= attempts {
-			g.failures.Add(1)
+			g.failures.Inc()
 			return false
 		}
-		g.retries.Add(1)
+		g.retries.Inc()
 		time.Sleep(g.retry.backoff(attempt, g.rng))
 	}
 }
@@ -160,7 +168,7 @@ func (g *gossiper) post(url string, body []byte) bool {
 // stats reports how many control messages were sent, how many exhausted
 // their retry budget, and how many retry attempts were spent.
 func (g *gossiper) stats() (sent, failures, retries uint64) {
-	return g.sent.Load(), g.failures.Load(), g.retries.Load()
+	return g.sent.Value(), g.failures.Value(), g.retries.Value()
 }
 
 // decodeJSON is a bounded JSON body decoder for the control handlers.

@@ -62,13 +62,9 @@ type Node struct {
 
 	open atomic.Int64 // requests being serviced here (the load metric)
 
-	served    atomic.Uint64 // requests served locally
-	proxied   atomic.Uint64 // requests handed off to another node
-	received  atomic.Uint64 // hand-offs served on behalf of others
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	retries   atomic.Uint64 // hand-off delivery retries
-	failovers atomic.Uint64 // hand-off failures served locally instead
+	// metrics owns every other counter the node keeps (see metrics.go);
+	// Snapshot and /statsz read the same registry /metricsz exposes.
+	metrics *nodeMetrics
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -114,15 +110,17 @@ func NewNode(cfg Config) (*Node, error) {
 		transport = cfg.Faults.transport(nil)
 	}
 	rng := newLockedRand(cfg.Seed)
+	m := newNodeMetrics()
 	n := &Node{
-		cfg:    cfg,
-		state:  newState(cfg.ID, len(cfg.Peers), cfg.Opts),
-		gossip: newGossiper(cfg.ID, cfg.Peers, cfg.Retry, transport, rng),
-		cache:  newContentCache(cfg.CacheBytes),
-		client: &http.Client{Timeout: 10 * time.Second, Transport: transport},
-		health: newHealthTracker(cfg.ID, len(cfg.Peers), cfg.Health),
-		rng:    rng,
-		stop:   make(chan struct{}),
+		cfg:     cfg,
+		metrics: m,
+		state:   newState(cfg.ID, len(cfg.Peers), cfg.Opts),
+		gossip:  newGossiper(cfg.ID, cfg.Peers, cfg.Retry, transport, rng, m),
+		cache:   newContentCache(cfg.CacheBytes),
+		client:  &http.Client{Timeout: 10 * time.Second, Transport: transport},
+		health:  newHealthTracker(cfg.ID, len(cfg.Peers), cfg.Health),
+		rng:     rng,
+		stop:    make(chan struct{}),
 	}
 	n.health.onDead = n.peerDied
 	n.gossip.onResult = func(peer int, ok bool) {
@@ -143,6 +141,7 @@ func NewNode(cfg Config) (*Node, error) {
 		w.WriteHeader(http.StatusOK)
 	})
 	mux.HandleFunc("/statsz", n.handleStats)
+	n.registerDebug(mux)
 	n.mux = mux
 	return n, nil
 }
@@ -236,16 +235,18 @@ func (n *Node) handleFiles(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing file path", http.StatusBadRequest)
 		return
 	}
+	start := time.Now()
+	defer func() { n.metrics.request.Observe(time.Since(start).Seconds()) }()
 	dec := n.state.decide(path, n.alive)
 	if dec.SetChanged != nil {
 		go n.gossip.broadcast(setPath, dec.SetChanged, n.peerDead, 0)
 	}
 	if dec.Service == n.cfg.ID {
-		n.served.Add(1)
+		n.metrics.served.Inc()
 		n.serveLocal(w, path)
 		return
 	}
-	n.proxied.Add(1)
+	n.metrics.proxied.Inc()
 	if err := n.proxyWithRetry(dec.Service, path, w); err != nil {
 		if errors.Is(err, errProxyStarted) {
 			// The peer died mid-response: the status line is already on the
@@ -256,8 +257,8 @@ func (n *Node) handleFiles(w http.ResponseWriter, r *http.Request) {
 		// The chosen node is unreachable: the failure detector has been
 		// told on every attempt; serve the client ourselves and let the
 		// next decision rebuild the server set.
-		n.failovers.Add(1)
-		n.served.Add(1)
+		n.metrics.failovers.Inc()
+		n.metrics.served.Inc()
 		n.serveLocal(w, path)
 	}
 }
@@ -266,7 +267,7 @@ func (n *Node) handleFiles(w http.ResponseWriter, r *http.Request) {
 // re-running distribution.
 func (n *Node) handleLocal(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/local")
-	n.received.Add(1)
+	n.metrics.received.Inc()
 	n.serveLocal(w, path)
 }
 
@@ -277,9 +278,9 @@ func (n *Node) serveLocal(w http.ResponseWriter, path string) {
 
 	content, ok := n.cache.get(path)
 	if ok {
-		n.hits.Add(1)
+		n.metrics.hits.Inc()
 	} else {
-		n.misses.Add(1)
+		n.metrics.misses.Inc()
 		var found bool
 		content, found = n.cfg.Store.Get(path)
 		if !found {
@@ -334,7 +335,7 @@ func (n *Node) proxyWithRetry(svc int, path string, w http.ResponseWriter) error
 		if attempt >= n.cfg.Retry.Attempts || !n.health.alive(svc) {
 			return err
 		}
-		n.retries.Add(1)
+		n.metrics.retries.Inc()
 		time.Sleep(n.cfg.Retry.backoff(attempt, n.rng))
 	}
 }
@@ -447,7 +448,7 @@ type Stats struct {
 
 // Snapshot returns current statistics.
 func (n *Node) Snapshot() Stats {
-	hits, misses := n.hits.Load(), n.misses.Load()
+	hits, misses := n.metrics.hits.Value(), n.metrics.misses.Value()
 	var rate float64
 	if hits+misses > 0 {
 		rate = float64(hits) / float64(hits+misses)
@@ -456,13 +457,13 @@ func (n *Node) Snapshot() Stats {
 	return Stats{
 		ID:          n.cfg.ID,
 		Load:        n.Load(),
-		Served:      n.served.Load(),
-		Proxied:     n.proxied.Load(),
-		Received:    n.received.Load(),
+		Served:      n.metrics.served.Value(),
+		Proxied:     n.metrics.proxied.Value(),
+		Received:    n.metrics.received.Value(),
 		Hits:        hits,
 		Misses:      misses,
-		Retries:     n.retries.Load(),
-		Failovers:   n.failovers.Load(),
+		Retries:     n.metrics.retries.Value(),
+		Failovers:   n.metrics.failovers.Value(),
 		DeadPeers:   n.health.deadCount(),
 		HitRate:     rate,
 		CacheUsed:   n.cache.used(),

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -44,6 +45,11 @@ type Network struct {
 
 	messages     uint64 // intra-cluster messages sent
 	controlBytes float64
+
+	// mMessages mirrors the message counter onto a shared observability
+	// counter; nil (the default) is the disabled no-op path. Unlike the
+	// built-in counter it survives ResetStats.
+	mMessages *obs.Counter
 
 	msgPool []*message // recycled in-flight message state
 }
@@ -97,6 +103,13 @@ func (nw *Network) Config() Config { return nw.cfg }
 // Messages returns the number of intra-cluster messages sent so far.
 func (nw *Network) Messages() uint64 { return nw.messages }
 
+// ControlKB returns the kilobytes carried by intra-cluster messages so far.
+func (nw *Network) ControlKB() float64 { return nw.controlBytes }
+
+// SetMetrics attaches an observability counter that mirrors the message
+// count (nil detaches it).
+func (nw *Network) SetMetrics(messages *obs.Counter) { nw.mMessages = messages }
+
 // RouterIn charges the router for an inbound transfer of kb kilobytes and
 // calls done when it has passed through.
 func (nw *Network) RouterIn(kb float64, done func()) {
@@ -118,6 +131,7 @@ func (nw *Network) Send(from, to *cluster.Node, kb float64, delivered func()) {
 	}
 	nw.messages++
 	nw.controlBytes += kb
+	nw.mMessages.Inc()
 	m := nw.getMessage()
 	m.from, m.to = from, to
 	m.wire = nw.cfg.SwitchLatency + kb/nw.cfg.LinkKBps

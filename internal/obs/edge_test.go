@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// failWriter errors on the first write, exercising the error returns of
+// every exposition writer.
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestHistogramIntrospection(t *testing.T) {
+	var nilH *Histogram
+	if b := nilH.Bounds(); b != nil {
+		t.Fatalf("nil histogram Bounds = %v", b)
+	}
+	if c := nilH.BucketCount(0); c != 0 {
+		t.Fatalf("nil histogram BucketCount = %d", c)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+	bounds := h.Bounds()
+	if len(bounds) != 2 || bounds[0] != 1 || bounds[1] != 2 {
+		t.Fatalf("Bounds = %v", bounds)
+	}
+	bounds[0] = -1 // must be a copy
+	if h.Bounds()[0] != 1 {
+		t.Fatal("Bounds returned aliased storage")
+	}
+	for i, want := range []uint64{1, 1, 1} { // two finite buckets + overflow
+		if got := h.BucketCount(i); got != want {
+			t.Fatalf("bucket %d count = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("second Gauge lookup built a new instrument")
+	}
+	if r.Histogram("h", []float64{1}) != r.Histogram("h", []float64{1}) {
+		t.Fatal("second Histogram lookup built a new instrument")
+	}
+}
+
+func TestHistogramReregisterPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1, 2})
+	for _, bounds := range [][]float64{{1}, {1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("re-registering with bounds %v did not panic", bounds)
+				}
+			}()
+			r.Histogram("h", bounds)
+		}()
+	}
+}
+
+func TestWritePrometheusInfinities(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("up").Set(math.Inf(1))
+	r.Gauge("down").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "up +Inf") || !strings.Contains(out, "down -Inf") {
+		t.Fatalf("infinities not rendered in Prometheus form:\n%s", out)
+	}
+}
+
+func TestWritersPropagateErrors(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	if err := r.WritePrometheus(failWriter{}); err == nil {
+		t.Error("counter write error swallowed")
+	}
+
+	rh := NewRegistry()
+	rh.Histogram("h", []float64{1}).Observe(0.5)
+	if err := rh.WritePrometheus(failWriter{}); err == nil {
+		t.Error("histogram write error swallowed")
+	}
+
+	rec := NewSeries(1)
+	rec.Record(0, 0.5, 0, "cpu_util", 1)
+	if err := rec.WriteJSONL(failWriter{}); err == nil {
+		t.Error("JSONL write error swallowed")
+	}
+	if err := rec.WriteChromeTrace(failWriter{}); err == nil {
+		t.Error("Chrome trace write error swallowed")
+	}
+}
+
+func TestParsePrometheusMoreRejects(t *testing.T) {
+	bad := []string{
+		"# TYPE x\n",                                   // malformed TYPE comment
+		"# TYPE x counter extra\nx 1\n",                // malformed TYPE comment (too long)
+		"# TYPE x counter\n# TYPE x gauge\nx 1\n",      // duplicate TYPE
+		"# TYPE h histogram\nh_bucket{le=\"1\" 5\n",    // unbalanced labels
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5.5\n", // fractional bucket count
+	}
+	for _, text := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("parsed invalid exposition without error:\n%s", text)
+		}
+	}
+	// HELP comments and blank lines are legal noise.
+	good := "# HELP x helpful words\n\n# TYPE x counter\nx 3\n"
+	s, err := ParsePrometheus(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Values["x"] != 3 {
+		t.Fatalf("x = %v, want 3", s.Values["x"])
+	}
+}

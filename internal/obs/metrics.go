@@ -1,0 +1,331 @@
+// Package obs is the unified observability layer shared by the simulator
+// and the native cluster: counters, gauges, and fixed-bucket histograms
+// collected in a Registry and exported in Prometheus text exposition
+// format, plus simulated-time series recording (see series.go).
+//
+// The layer is zero-cost when disabled. Every instrument is used through a
+// pointer whose nil value is a valid no-op: (*Counter)(nil).Inc() performs
+// one predictable branch and allocates nothing, so hot paths instrument
+// unconditionally and pay nothing until a Registry is attached. Instruments
+// update with atomics, so the native cluster's request handlers can share
+// them across goroutines; the Prometheus writer takes a consistent-enough
+// snapshot without stopping the world.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric. The nil Counter is a
+// valid no-op sink.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for the nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 metric. The nil Gauge is a valid no-op
+// sink.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last value set (0 for the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram in the Prometheus style: bucket i
+// counts observations v <= bounds[i], with an implicit +Inf bucket at the
+// end. The nil Histogram is a valid no-op sink.
+type Histogram struct {
+	name   string
+	bounds []float64       // strictly increasing upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 for the nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for the nil Histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bounds returns the bucket upper bounds (nil for the nil Histogram).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCount returns the count of bucket i, where i == len(Bounds()) is
+// the +Inf overflow bucket.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Registry holds named instruments and renders them as Prometheus text.
+// The nil Registry hands out nil instruments, so construction sites need no
+// enabled/disabled branches either.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	histories map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		histories: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns the nil no-op Counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.checkName(name)
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns the nil no-op Gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.checkName(name)
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given strictly increasing bucket bounds (the +Inf bucket is implicit).
+// Re-registering a name with different bounds panics: two call sites
+// disagreeing about buckets is a programming error. A nil registry returns
+// the nil no-op Histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histories[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with %d bounds, had %d", name, len(bounds), len(h.bounds)))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	r.checkName(name)
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || (i > 0 && bounds[i-1] >= b) {
+			panic(fmt.Sprintf("obs: histogram %q bounds must be strictly increasing, got %v", name, bounds))
+		}
+	}
+	h := &Histogram{name: name, bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(bounds)+1)
+	r.histories[name] = h
+	return h
+}
+
+// checkName enforces Prometheus metric-name syntax and cross-kind
+// uniqueness; callers hold r.mu.
+func (r *Registry) checkName(name string) {
+	if !ValidMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.histories[name]
+	if c || g || h {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
+	}
+}
+
+// ValidMetricName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every registered instrument in Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so output is
+// deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histories))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	counters, gauges, histories := r.counters, r.gauges, r.histories
+	r.mu.Unlock()
+
+	for _, n := range names {
+		var err error
+		switch {
+		case counters[n] != nil:
+			c := counters[n]
+			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value())
+		case gauges[n] != nil:
+			g := gauges[n]
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(g.Value()))
+		default:
+			err = histories[n].writePrometheus(w)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) writePrometheus(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, formatFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		h.name, cum, h.name, formatFloat(h.Sum()), h.name, h.Count())
+	return err
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

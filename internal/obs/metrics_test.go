@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total"); again != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("load")
+	g.Set(3.25)
+	if got := g.Value(); got != 3.25 {
+		t.Fatalf("gauge = %v, want 3.25", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 2, 100} {
+		h.Observe(v)
+	}
+	// le semantics: v <= bound lands in that bucket.
+	want := []uint64{2, 2, 1, 1} // (<=0.1)x2, (<=1)x2, (<=10)x1, +Inf x1
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+2+100; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if again := r.Histogram("lat", []float64{0.1, 1, 10}); again != h {
+		t.Fatalf("re-registration returned a different histogram")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"invalid name", func(r *Registry) { r.Counter("0bad") }},
+		{"empty name", func(r *Registry) { r.Gauge("") }},
+		{"kind clash", func(r *Registry) { r.Counter("x"); r.Gauge("x") }},
+		{"no bounds", func(r *Registry) { r.Histogram("h", nil) }},
+		{"unsorted bounds", func(r *Registry) { r.Histogram("h", []float64{1, 1}) }},
+		{"bounds mismatch", func(r *Registry) {
+			r.Histogram("h", []float64{1, 2})
+			r.Histogram("h", []float64{1, 3})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic")
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{1})
+	c.Inc()
+	c.Add(3)
+	g.Set(9)
+	h.Observe(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil instruments recorded something")
+	}
+	if h.Bounds() != nil {
+		t.Fatalf("nil histogram has bounds")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", sb.String(), err)
+	}
+}
+
+// TestNilInstrumentsAllocFree is the zero-cost-when-disabled guarantee: the
+// disabled (nil) instruments must not allocate on any hot-path operation.
+func TestNilInstrumentsAllocFree(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		h *Histogram
+		r *Registry
+		s *Series
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1.5)
+		h.Observe(0.25)
+		s.Record(1, 0.5, 0, "m", 2)
+		_ = r.Counter("x")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil observability path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestEnabledCounterAllocFree: even enabled, steady-state updates must not
+// allocate (construction may).
+func TestEnabledCounterAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", []float64{0.1, 1, 10})
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(0.5)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled instrument updates allocate %v per op, want 0", allocs)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 || h.Sum() != 8000 {
+		t.Fatalf("histogram count=%d sum=%v, want 8000", h.Count(), h.Sum())
+	}
+}
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total").Add(7)
+	r.Gauge("load").Set(2.5)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	sc, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, text)
+	}
+	checks := map[string]float64{
+		"served_total":                  7,
+		"load":                          2.5,
+		`lat_seconds_bucket{le="0.1"}`:  1,
+		`lat_seconds_bucket{le="1"}`:    2,
+		`lat_seconds_bucket{le="+Inf"}`: 3,
+		"lat_seconds_sum":               50.55,
+		"lat_seconds_count":             3,
+	}
+	for k, want := range checks {
+		if got, ok := sc.Values[k]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v\n%s", k, got, ok, want, text)
+		}
+	}
+	types := map[string]string{"served_total": "counter", "load": "gauge", "lat_seconds": "histogram"}
+	for k, want := range types {
+		if got := sc.Types[k]; got != want {
+			t.Errorf("type of %s = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParsePrometheusRejects(t *testing.T) {
+	bad := []string{
+		"no_type_decl 5\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\nx 1 2 3\n",
+		"# TYPE 9bad counter\n9bad 1\n",
+		"# TYPE x widget\nx 1\n",
+		"# TYPE x counter\nx 1\nx 2\n",
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\n",
+	}
+	for _, text := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(text)); err == nil {
+			t.Errorf("parsed invalid exposition without error:\n%s", text)
+		}
+	}
+}
+
+func TestValidMetricName(t *testing.T) {
+	valid := []string{"a", "A_b:c", "_x", "x9"}
+	invalid := []string{"", "9x", "a-b", "a b", "a\n"}
+	for _, n := range valid {
+		if !ValidMetricName(n) {
+			t.Errorf("ValidMetricName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range invalid {
+		if ValidMetricName(n) {
+			t.Errorf("ValidMetricName(%q) = true, want false", n)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Scrape is a parsed Prometheus text exposition: sample values keyed by
+// their full series name (including the label section for histogram
+// buckets, e.g. `lat_bucket{le="0.5"}`), plus the declared type of each
+// metric family.
+type Scrape struct {
+	Values map[string]float64
+	Types  map[string]string
+}
+
+// ParsePrometheus parses Prometheus text exposition format (as served by
+// /metricsz) strictly enough to act as a validity assertion in tests: every
+// sample line must parse as `name[{labels}] value`, metric names must be
+// syntactically valid, every sample must belong to a family declared by a
+// preceding `# TYPE` line, and histogram bucket counts must be cumulative.
+func ParsePrometheus(r io.Reader) (*Scrape, error) {
+	s := &Scrape{Values: make(map[string]float64), Types: make(map[string]string)}
+	lastBucket := make(map[string]uint64) // histogram name -> last cumulative count
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("obs: line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				name, kind := fields[2], fields[3]
+				if !ValidMetricName(name) {
+					return nil, fmt.Errorf("obs: line %d: invalid metric name %q", lineNo, name)
+				}
+				switch kind {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("obs: line %d: unknown metric type %q", lineNo, kind)
+				}
+				if _, dup := s.Types[name]; dup {
+					return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				s.Types[name] = kind
+			}
+			continue // other comments (e.g. HELP) are ignored
+		}
+		key, name, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		family := baseFamily(name, s.Types)
+		if family == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding TYPE declaration", lineNo, name)
+		}
+		if _, dup := s.Values[key]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate sample %q", lineNo, key)
+		}
+		s.Values[key] = value
+		if s.Types[family] == "histogram" && strings.HasSuffix(name, "_bucket") {
+			cum := uint64(value)
+			if float64(cum) != value || value < 0 {
+				return nil, fmt.Errorf("obs: line %d: non-integer bucket count %v", lineNo, value)
+			}
+			if prev, ok := lastBucket[family]; ok && cum < prev {
+				return nil, fmt.Errorf("obs: line %d: histogram %q bucket counts not cumulative", lineNo, family)
+			}
+			lastBucket[family] = cum
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSample splits one exposition sample line into its full key (name
+// plus label section), bare metric name, and value.
+func parseSample(line string) (key, name string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("malformed labels in %q", line)
+		}
+		name, key, rest = line[:i], line[:j+1], strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, key, rest = fields[0], fields[0], fields[1]
+	}
+	if !ValidMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", "", 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	return key, name, v, nil
+}
+
+func parseValue(s string) (float64, error) {
+	// Prometheus spells infinities +Inf/-Inf, which ParseFloat accepts too.
+	return strconv.ParseFloat(s, 64)
+}
+
+// baseFamily maps a sample name to its declared family: the name itself,
+// or — for histogram series — the name with its _bucket/_sum/_count suffix
+// stripped. It returns "" when no declaration matches.
+func baseFamily(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && types[base] == "histogram" {
+			return base
+		}
+	}
+	return ""
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Sample is one time-series observation: metric's value v over the
+// simulated-time interval (t-dt, t]. Node is the cluster node the sample
+// belongs to, or ClusterWide for whole-cluster signals.
+type Sample struct {
+	T      float64 `json:"t"`
+	Dt     float64 `json:"dt"`
+	Node   int     `json:"node"`
+	Metric string  `json:"metric"`
+	V      float64 `json:"v"`
+}
+
+// ClusterWide is the Node value of samples that describe the whole cluster
+// (router utilization, throughput, forwarding fraction).
+const ClusterWide = -1
+
+// Series records interval-sampled time series from a simulation run: the
+// driver registers an engine probe at the Series' interval and appends one
+// batch of samples per tick. The recorder is single-threaded, like the
+// simulation itself; do not share one Series between parallel runs. The nil
+// Series is a valid no-op sink.
+type Series struct {
+	interval float64
+	samples  []Sample
+}
+
+// NewSeries returns a recorder whose probe interval is the given number of
+// simulated seconds.
+func NewSeries(interval float64) *Series {
+	if !(interval > 0) || math.IsInf(interval, 0) {
+		panic(fmt.Sprintf("obs: series interval must be positive and finite, got %v", interval))
+	}
+	return &Series{interval: interval}
+}
+
+// Interval returns the configured sampling interval (0 for the nil Series).
+func (s *Series) Interval() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Record appends one sample. The nil Series discards it.
+func (s *Series) Record(t, dt float64, node int, metric string, v float64) {
+	if s == nil {
+		return
+	}
+	s.samples = append(s.samples, Sample{T: t, Dt: dt, Node: node, Metric: metric, V: v})
+}
+
+// Len returns the number of recorded samples.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}
+
+// Samples returns the recorded samples in recording order. The slice is
+// shared, not copied; treat it as read-only.
+func (s *Series) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}
+
+// WeightedMean returns the dt-weighted mean of one (node, metric) series —
+// the time average of the sampled signal. It returns 0 when no matching
+// samples exist.
+func (s *Series) WeightedMean(node int, metric string) float64 {
+	if s == nil {
+		return 0
+	}
+	var num, den float64
+	for i := range s.samples {
+		sm := &s.samples[i]
+		if sm.Node != node || sm.Metric != metric {
+			continue
+		}
+		num += sm.V * sm.Dt
+		den += sm.Dt
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Metrics returns the distinct metric names recorded, sorted.
+func (s *Series) Metrics() []string {
+	if s == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for i := range s.samples {
+		seen[s.samples[i].Metric] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteJSONL writes one JSON document per sample, in recording order — the
+// artifact format behind the -series CLI flags.
+func (s *Series) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range s.Samples() {
+		if err := enc.Encode(&s.samples[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace writes the series in Chrome trace_event format, loadable
+// in chrome://tracing or Perfetto. Each sample becomes a counter ("ph":"C")
+// event; each node is a process (cluster-wide signals are process 0), so
+// the trace viewer draws one counter track per (node, metric). Timestamps
+// are simulated microseconds.
+func (s *Series) WriteChromeTrace(w io.Writer) error {
+	samples := s.Samples()
+	events := make([]chromeEvent, 0, len(samples)+8)
+	named := make(map[int]bool)
+	procName := func(node int) string {
+		if node == ClusterWide {
+			return "cluster"
+		}
+		return fmt.Sprintf("node %d", node)
+	}
+	for i := range samples {
+		sm := &samples[i]
+		pid := sm.Node + 1 // ClusterWide (-1) maps to process 0
+		if !named[pid] {
+			named[pid] = true
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": procName(sm.Node)},
+			})
+		}
+		events = append(events, chromeEvent{
+			Name: sm.Metric, Ph: "C", Pid: pid, Ts: sm.T * 1e6,
+			Args: map[string]any{"value": sm.V},
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,163 @@
+package queuemodel
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Paper-conformance suite: the qualitative claims of Section 3 that the
+// analytic model must reproduce, checked over grids rather than single
+// points.
+//
+// The claims hold in the regime the paper evaluates — the locality-oblivious
+// server limited by its disks (small files relative to memory, Hlo < 1).
+// Outside it they genuinely fail, not by implementation error: when every
+// node already serves from memory, forwarding is pure overhead, so a
+// locality-conscious server is slightly *slower* (the paper's own Figure 4
+// shows the surfaces converging as Hlo -> 1). The grids below therefore pin
+// the disk-bound region and assert the bottleneck to prove they stay in it.
+
+// relTol absorbs the z(n, F) catalog inversion: HitRates solves F from Hlo
+// numerically, so Hlc is exact only up to the solver's tolerance.
+const relTol = 1e-4
+
+// TestConsciousDominatesOblivious: at every cluster size, a
+// locality-conscious server's throughput bound is at least the oblivious
+// server's, and strictly better once the cluster is large enough for the
+// aggregated cache to matter (Section 3.2's central claim).
+func TestConsciousDominatesOblivious(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		for _, hlo := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			for _, s := range []float64{2, 4, 8} {
+				t.Run(fmt.Sprintf("N=%d/Hlo=%v/S=%v", n, hlo, s), func(t *testing.T) {
+					p := DefaultParams()
+					p.Nodes = n
+					p.AvgFileKB = s
+					ob := p.Oblivious(hlo)
+					if ob.Bottleneck != Disk {
+						t.Fatalf("grid point not disk-bound (bottleneck %v): the claim is only made there", ob.Bottleneck)
+					}
+					co := p.Conscious(hlo)
+					if co.RequestsPerSec < ob.RequestsPerSec*(1-relTol) {
+						t.Errorf("conscious %v < oblivious %v", co.RequestsPerSec, ob.RequestsPerSec)
+					}
+					// With >= 4 nodes the conscious cache is >= 4x the
+					// oblivious one; at moderate-to-high hit rates that must
+					// buy a real margin, not just a tie (below Hlo ~ 0.5 the
+					// Zipf tail is so heavy that even 4x the cache lifts the
+					// hit rate only a few points).
+					if n >= 4 && hlo >= 0.5 && hlo <= 0.8 {
+						if co.RequestsPerSec < ob.RequestsPerSec*1.1 {
+							t.Errorf("conscious %v not clearly above oblivious %v at N=%d",
+								co.RequestsPerSec, ob.RequestsPerSec, n)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestConsciousAtOneNodeIsOblivious: with a single node there is nothing to
+// aggregate and nothing to forward, so the two bounds coincide.
+func TestConsciousAtOneNodeIsOblivious(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 1
+	p.AvgFileKB = 8
+	// Hit rates below ~0.3 need a catalog beyond the Zipf solver's 2^50
+	// search bound (alpha=1 hit rates fall off logarithmically in catalog
+	// size), so the solved Hlc saturates above Hlo there; the identity is
+	// checked on the reachable part of the range.
+	for _, hlo := range []float64{0.4, 0.6, 0.8} {
+		ob, co := p.Oblivious(hlo), p.Conscious(hlo)
+		if diff := co.RequestsPerSec/ob.RequestsPerSec - 1; diff > relTol || diff < -relTol {
+			t.Errorf("Hlo=%v: N=1 conscious %v != oblivious %v", hlo, co.RequestsPerSec, ob.RequestsPerSec)
+		}
+		if co.Forward != 0 {
+			t.Errorf("Hlo=%v: N=1 forwards a %v fraction", hlo, co.Forward)
+		}
+	}
+}
+
+// TestThroughputMonotoneInMemory: for a fixed catalog, growing each node's
+// memory never lowers either bound (more cache -> no fewer hits). The
+// conscious bound plateaus once the whole catalog is resident and the CPU
+// becomes the bottleneck; it must not dip.
+func TestThroughputMonotoneInMemory(t *testing.T) {
+	const files = 200000
+	p := DefaultParams()
+	p.AvgFileKB = 8
+	prevC, prevO := 0.0, 0.0
+	for _, mb := range []int64{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048} {
+		p.CacheBytes = mb << 20
+		c := p.ConsciousForCatalog(files).RequestsPerSec
+		o := p.ObliviousForCatalog(files).RequestsPerSec
+		if c < prevC*(1-1e-12) {
+			t.Errorf("mem=%dMB: conscious bound fell %v -> %v", mb, prevC, c)
+		}
+		if o < prevO*(1-1e-12) {
+			t.Errorf("mem=%dMB: oblivious bound fell %v -> %v", mb, prevO, o)
+		}
+		if c < o*(1-relTol) && p.Nodes > 1 && mb <= 512 {
+			t.Errorf("mem=%dMB: conscious %v below oblivious %v while catalog exceeds one memory", mb, c, o)
+		}
+		prevC, prevO = c, o
+	}
+}
+
+// TestReplicationNeverBeatsUnreplicated: in the disk-bound regime the paper
+// studies, spending an R fraction of each memory on replicas shrinks the
+// effective cache and can only lower the bound; R=0 is optimal and the
+// bound is monotone non-increasing in R (Figure 5's shape).
+//
+// The disk-bound qualifier is load-bearing: past Hlo ~ 0.8 the conscious
+// server turns CPU-bound, and there a little replication *raises* the bound
+// (a higher replicated hit rate h means less forwarding work on the
+// bottleneck CPU) — so the grid stops at 0.7 and the bottleneck is
+// asserted.
+func TestReplicationNeverBeatsUnreplicated(t *testing.T) {
+	for _, hlo := range []float64{0.3, 0.5, 0.7} {
+		p := DefaultParams()
+		p.AvgFileKB = 8
+		p.Replication = 0
+		base := p.Conscious(hlo)
+		if base.Bottleneck != Disk {
+			t.Fatalf("Hlo=%v: R=0 point not disk-bound (%v)", hlo, base.Bottleneck)
+		}
+		prev := base.RequestsPerSec
+		for _, r := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1} {
+			p.Replication = r
+			tp := p.Conscious(hlo).RequestsPerSec
+			if tp > base.RequestsPerSec*(1+relTol) {
+				t.Errorf("Hlo=%v R=%v: %v exceeds the R=0 bound %v", hlo, r, tp, base.RequestsPerSec)
+			}
+			if tp > prev*(1+relTol) {
+				t.Errorf("Hlo=%v R=%v: bound rose %v -> %v (not monotone in R)", hlo, r, prev, tp)
+			}
+			prev = tp
+		}
+	}
+}
+
+// TestFullReplicationIsOblivious: R=1 makes every cache hold the same files
+// — exactly the oblivious server, minus its freedom from forwarding
+// bookkeeping. Hit rates must match; throughput must not exceed oblivious.
+func TestFullReplicationIsOblivious(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 8
+	p.Replication = 1
+	for _, hlo := range []float64{0.3, 0.6, 0.9} {
+		hlc, h := p.HitRates(hlo)
+		if diff := hlc - hlo; diff > relTol || diff < -relTol {
+			t.Errorf("Hlo=%v: R=1 Hlc=%v, want Hlo", hlo, hlc)
+		}
+		if diff := h - hlo; diff > relTol || diff < -relTol {
+			t.Errorf("Hlo=%v: R=1 h=%v, want Hlo", hlo, h)
+		}
+		co := p.Conscious(hlo)
+		ob := p.Oblivious(hlo)
+		if co.RequestsPerSec > ob.RequestsPerSec*(1+relTol) {
+			t.Errorf("Hlo=%v: R=1 conscious %v exceeds oblivious %v", hlo, co.RequestsPerSec, ob.RequestsPerSec)
+		}
+	}
+}

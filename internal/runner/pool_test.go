@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// Worker-count edge cases: the pool must behave with one worker (the
+// sequential fast path), zero workers (default to GOMAXPROCS), and more
+// workers than jobs.
+
+func smallJobs(t *testing.T, n int) []Job {
+	t.Helper()
+	tr := testTrace(t)
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Key:    fmt.Sprintf("job-%d", i),
+			Config: server.NewConfig(server.L2SServer, 2),
+			Trace:  tr,
+		}
+	}
+	return jobs
+}
+
+func TestNewPoolOneWorkerIsSequential(t *testing.T) {
+	p := NewPool(1)
+	if !p.Sequential {
+		t.Fatal("NewPool(1) did not select the sequential path")
+	}
+	results := p.Run(smallJobs(t, 3))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Key, r.Err)
+		}
+	}
+	if NewPool(2).Sequential {
+		t.Fatal("NewPool(2) should run concurrently")
+	}
+}
+
+func TestZeroWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	jobs := smallJobs(t, 2)
+	results := (&Pool{}).Run(jobs) // Workers == 0: derived from GOMAXPROCS
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Key, r.Err)
+		}
+	}
+}
+
+func TestMoreWorkersThanJobs(t *testing.T) {
+	before := runtime.NumGoroutine()
+	results := (&Pool{Workers: 64}).Run(smallJobs(t, 1))
+	if len(results) != 1 || results[0].Err != nil {
+		t.Fatalf("results = %+v", results)
+	}
+	// The worker count is clamped to the job count, so the pool must not
+	// have left a herd of goroutines behind.
+	if after := runtime.NumGoroutine(); after > before+8 {
+		t.Fatalf("goroutines grew %d -> %d", before, after)
+	}
+}

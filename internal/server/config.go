@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/queuemodel"
 )
@@ -158,6 +159,21 @@ type Config struct {
 	// DNSTTL is the cached-dns policy's requests per cached translation
 	// (zero selects its default of 50).
 	DNSTTL int
+
+	// Series, when non-nil, records per-resource utilization, cache hit
+	// rate, queue depth, load, and forwarding-fraction time series at the
+	// recorder's simulated-time interval, over the measurement phase.
+	// Observation never perturbs the simulation: a run with Series attached
+	// is bit-identical to one without. The recorder is single-threaded —
+	// do not share one Series between parallel sweep jobs.
+	Series *obs.Series
+
+	// Metrics, when non-nil, mirrors run counters (completions, aborts,
+	// forwards, cache hits/misses/evictions, network messages) and a
+	// request-latency histogram onto the registry. Like Series, it never
+	// perturbs the simulation, and must not be shared between parallel
+	// jobs.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the paper's simulation setup for the given system

@@ -1,0 +1,178 @@
+// Observability wiring for the simulator: run counters mirrored onto an
+// obs.Registry and interval-sampled time series recorded through an engine
+// probe. Both are strictly read-only with respect to simulation state — an
+// instrumented run is bit-identical to an uninstrumented one (guarded by
+// TestObservedRunMatchesGolden) — and both cost nothing when disabled: the
+// counters are nil no-ops and the probe is never registered.
+package server
+
+import (
+	"repro/internal/cache"
+	"repro/internal/obs"
+)
+
+// Series metric names, per node unless marked cluster-wide (obs.ClusterWide).
+const (
+	SeriesCPUUtil      = "cpu_util"
+	SeriesDiskUtil     = "disk_util"
+	SeriesNIInUtil     = "ni_in_util"
+	SeriesNIOutUtil    = "ni_out_util"
+	SeriesCacheHitRate = "cache_hit_rate"
+	SeriesQueueCPU     = "queue_cpu"    // jobs queued or in service at the CPU
+	SeriesLoad         = "load"         // open connections
+	SeriesRouterUtil   = "router_util"  // cluster-wide
+	SeriesThroughput   = "throughput"   // cluster-wide, completions/s
+	SeriesForwardFrac  = "forward_frac" // cluster-wide
+)
+
+// LatencyBuckets are the request-latency histogram bounds used by
+// Config.Metrics, in seconds.
+var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// runMetrics is the driver's set of mirrored counters; the zero value (all
+// nil) is the disabled path.
+type runMetrics struct {
+	completed *obs.Counter
+	aborted   *obs.Counter
+	assigned  *obs.Counter
+	forwarded *obs.Counter
+	latency   *obs.Histogram
+}
+
+// bindMetrics points the driver's counter mirrors, every node cache, and
+// the network at reg. Counters accumulate over the whole run (warm-up
+// included) and are not zeroed when measurement begins; the latency
+// histogram observes measured completions only, like Result's latency
+// statistics.
+func (d *driver) bindMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.m.completed = reg.Counter("requests_completed_total")
+	d.m.aborted = reg.Counter("requests_aborted_total")
+	d.m.assigned = reg.Counter("requests_assigned_total")
+	d.m.forwarded = reg.Counter("requests_forwarded_total")
+	d.m.latency = reg.Histogram("request_latency_seconds", LatencyBuckets)
+	cm := cache.Metrics{
+		Hits:          reg.Counter("cache_hits_total"),
+		Misses:        reg.Counter("cache_misses_total"),
+		Evictions:     reg.Counter("cache_evictions_total"),
+		Invalidations: reg.Counter("cache_invalidations_total"),
+	}
+	for _, n := range d.nodes {
+		n.Cache.SetMetrics(cm)
+	}
+	d.net.SetMetrics(reg.Counter("net_messages_total"))
+}
+
+// seriesProbe samples the cluster's state on the recorder's interval.
+// Utilizations are computed from cumulative busy-time deltas, so each
+// sample is the exact utilization over its interval, and the dt-weighted
+// mean of a resource's samples telescopes to the resource's own
+// end-of-run Utilization() (the 1e-9 agreement asserted by
+// TestSeriesAgreesWithResult).
+type seriesProbe struct {
+	d      *driver
+	rec    *obs.Series
+	active bool
+	lastT  float64
+
+	// Cumulative baselines at the previous sample. Busy-time baselines
+	// start at zero, not at the post-ResetStats reading: ResetStats leaves
+	// the future-committed portion of queued service in busy, and charging
+	// it to the first interval is exactly what makes the telescoped mean
+	// equal Utilization().
+	cpu, disk, niIn, niOut []float64
+	hits, total            []uint64
+	router                 float64
+	completed              uint64
+	assigned, forwarded    uint64
+}
+
+// startSeries registers the sampling probe. Sampling waits for the
+// measurement phase (begin()).
+func (d *driver) startSeries(rec *obs.Series) {
+	if rec == nil {
+		return
+	}
+	n := len(d.nodes)
+	sp := &seriesProbe{
+		d: d, rec: rec,
+		cpu: make([]float64, n), disk: make([]float64, n),
+		niIn: make([]float64, n), niOut: make([]float64, n),
+		hits: make([]uint64, n), total: make([]uint64, n),
+	}
+	d.series = sp
+	d.eng.Probe(rec.Interval(), sp.sample)
+}
+
+// begin starts sampling at the measurement epoch. All baselines are zero:
+// node and network statistics were just reset, and busy-time baselines are
+// zero by the exactness convention above.
+func (sp *seriesProbe) begin() {
+	sp.active = true
+	sp.lastT = sp.d.eng.Now()
+	for i := range sp.cpu {
+		sp.cpu[i], sp.disk[i], sp.niIn[i], sp.niOut[i] = 0, 0, 0, 0
+		sp.hits[i], sp.total[i] = 0, 0
+	}
+	sp.router = 0
+	sp.completed, sp.assigned, sp.forwarded = 0, 0, 0
+}
+
+// sample records one batch of samples covering (lastT, t]. It reads
+// simulation state and writes only to the recorder and its own baselines.
+func (sp *seriesProbe) sample(t float64) {
+	if !sp.active {
+		return
+	}
+	dt := t - sp.lastT
+	if dt <= 0 {
+		return
+	}
+	d := sp.d
+	rec := sp.rec
+	for i, n := range d.nodes {
+		// All node resources have one server, so interval utilization is
+		// the busy-time delta over dt.
+		cpu, disk := n.CPU.BusyTime(), n.Disk.BusyTime()
+		niIn, niOut := n.NIIn.BusyTime(), n.NIOut.BusyTime()
+		rec.Record(t, dt, i, SeriesCPUUtil, (cpu-sp.cpu[i])/dt)
+		rec.Record(t, dt, i, SeriesDiskUtil, (disk-sp.disk[i])/dt)
+		rec.Record(t, dt, i, SeriesNIInUtil, (niIn-sp.niIn[i])/dt)
+		rec.Record(t, dt, i, SeriesNIOutUtil, (niOut-sp.niOut[i])/dt)
+		sp.cpu[i], sp.disk[i], sp.niIn[i], sp.niOut[i] = cpu, disk, niIn, niOut
+
+		s := n.Cache.Stats()
+		if dTotal := s.Total - sp.total[i]; dTotal > 0 {
+			rec.Record(t, dt, i, SeriesCacheHitRate, float64(s.Hits-sp.hits[i])/float64(dTotal))
+		}
+		sp.hits[i], sp.total[i] = s.Hits, s.Total
+
+		rec.Record(t, dt, i, SeriesQueueCPU, float64(n.CPU.InSystem()))
+		rec.Record(t, dt, i, SeriesLoad, float64(n.Load()))
+	}
+
+	router := d.net.Router.BusyTime()
+	rec.Record(t, dt, obs.ClusterWide, SeriesRouterUtil, (router-sp.router)/dt)
+	sp.router = router
+
+	rec.Record(t, dt, obs.ClusterWide, SeriesThroughput, float64(d.completed-sp.completed)/dt)
+	sp.completed = d.completed
+
+	if dAssigned := d.assigned - sp.assigned; dAssigned > 0 {
+		rec.Record(t, dt, obs.ClusterWide, SeriesForwardFrac,
+			float64(d.forwarded-sp.forwarded)/float64(dAssigned))
+	}
+	sp.assigned, sp.forwarded = d.assigned, d.forwarded
+
+	sp.lastT = t
+}
+
+// flush records the final partial interval at the end of the run, so the
+// series covers the full measurement window [measStart, Now].
+func (sp *seriesProbe) flush() {
+	if sp != nil {
+		sp.sample(sp.d.eng.Now())
+	}
+}

@@ -9,6 +9,7 @@ package server
 import (
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/queuemodel"
 )
@@ -131,4 +132,19 @@ func WithCustomPolicy(mk func(env policy.Env) policy.Distributor) Option {
 // WithDNSTTL sets the cached-dns policy's requests per cached translation.
 func WithDNSTTL(requests int) Option {
 	return func(c *Config) { c.DNSTTL = requests }
+}
+
+// WithSeries attaches a time-series recorder: per-resource utilization,
+// cache hit rates, queue depths, load, and forwarding fraction are sampled
+// every rec.Interval() simulated seconds during the measurement phase.
+// Observation never perturbs the simulation. A Series must not be shared
+// between parallel sweep jobs.
+func WithSeries(rec *obs.Series) Option {
+	return func(c *Config) { c.Series = rec }
+}
+
+// WithMetrics mirrors run counters and a request-latency histogram onto the
+// registry (see Config.Metrics).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
 }

@@ -111,12 +111,15 @@ func (d *driver) serveConnRequest(owner, first, count, i int, firstCall bool) {
 	skb := float64(d.tr.Size(f)) / 1024
 	t0 := d.eng.Now()
 	d.assigned++
+	d.m.assigned.Inc()
 
 	next := func() {
 		d.completed++
+		d.m.completed.Inc()
 		d.lastDone = d.eng.Now()
 		if d.measuring {
 			d.latency.Add(d.eng.Now() - t0)
+			d.m.latency.Observe(d.eng.Now() - t0)
 			d.recordTimeline()
 		}
 		d.serveConnRequest(owner, first, count, i+1, false)
@@ -146,6 +149,7 @@ func (d *driver) serveConnRequest(owner, first, count, i int, firstCall bool) {
 		// Back-end forwarding: the caching node reads the file and ships
 		// it to the owner, which transmits it to the client.
 		d.forwarded++
+		d.m.forwarded.Inc()
 		node.CPU.Acquire(d.cpu(owner, d.fwd), func() {
 			d.net.Send(node, d.nodes[svc], d.cfg.Costs.ReqKB, func() {
 				d.remoteRead(svc, f, skb, func() {
@@ -217,6 +221,7 @@ func (d *driver) closeConnection(owner, first, count int) {
 func (d *driver) abortConnectionUnassigned() {
 	d.inflight--
 	d.aborted++
+	d.m.aborted.Inc()
 	if !d.openLoop {
 		d.inject()
 	}
@@ -227,6 +232,7 @@ func (d *driver) abortConnectionAssigned(owner int, f cache.FileID) {
 	d.dist.OnComplete(owner, f)
 	d.inflight--
 	d.aborted++
+	d.m.aborted.Inc()
 	if !d.openLoop {
 		d.inject()
 	}

@@ -56,6 +56,10 @@ type driver struct {
 	// Timeline buckets (completions per TimelineBucket interval).
 	buckets []uint64
 
+	// Observability (see observe.go): nil/zero means disabled.
+	m      runMetrics
+	series *seriesProbe
+
 	// Free lists of pooled per-request and per-reply jobs; the simulation is
 	// single-threaded, so plain stacks suffice.
 	reqPool []*requestJob
@@ -114,11 +118,13 @@ func (d *driver) getRequestJob() *requestJob {
 		d.nodes[svc].AddConnection()
 		d.dist.OnAssign(svc)
 		d.assigned++
+		d.m.assigned.Inc()
 		if svc == j.n0 {
 			j.serve()
 			return
 		}
 		d.forwarded++
+		d.m.forwarded.Inc()
 		fwdCost := d.fwd
 		if j.n0 == d.dist.FrontEnd() {
 			fwdCost = 0 // already inside the front-end budget
@@ -274,6 +280,9 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 		d.dist = dist
 	}
 
+	d.bindMetrics(cfg.Metrics)
+	d.startSeries(cfg.Series)
+
 	d.warmIdx = int(cfg.WarmFraction * float64(tr.NumRequests()))
 	d.failIdx = -1
 	if cfg.FailNode >= 0 {
@@ -298,6 +307,7 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 		}
 	}
 	d.eng.Run()
+	d.series.flush()
 
 	return d.result(), nil
 }
@@ -351,6 +361,9 @@ func (d *driver) beginMeasurement() {
 	d.connections, d.connReqs = 0, 0
 	d.latency = stats.NewHistogram()
 	d.buckets = nil
+	if d.series != nil {
+		d.series.begin()
+	}
 }
 
 // start runs the connection lifecycle: router in, initial node NI and CPU,
@@ -474,9 +487,11 @@ func (d *driver) complete(n int, f cache.FileID, t0 float64) {
 	d.dist.OnComplete(n, f)
 	d.inflight--
 	d.completed++
+	d.m.completed.Inc()
 	d.lastDone = d.eng.Now()
 	if d.measuring {
 		d.latency.Add(d.eng.Now() - t0)
+		d.m.latency.Observe(d.eng.Now() - t0)
 		d.recordTimeline()
 	}
 	if !d.openLoop {
@@ -502,6 +517,7 @@ func (d *driver) recordTimeline() {
 func (d *driver) abortUnassigned() {
 	d.inflight--
 	d.aborted++
+	d.m.aborted.Inc()
 	if !d.openLoop {
 		d.inject()
 	}
@@ -514,6 +530,7 @@ func (d *driver) abortAssigned(n int, f cache.FileID) {
 	d.dist.OnComplete(n, f)
 	d.inflight--
 	d.aborted++
+	d.m.aborted.Inc()
 	if !d.openLoop {
 		d.inject()
 	}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestProbeFiresOnBoundaries: a probe samples after the first event at or
+// past each multiple of its interval, and a long gap collapses to one
+// firing.
+func TestProbeFiresOnBoundaries(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Probe(1.0, func(now Time) { times = append(times, now) })
+	for _, at := range []Time{0.5, 0.9, 1.1, 1.2, 2.0, 5.5} {
+		e.At(at, func() {})
+	}
+	e.Run()
+	// Boundaries crossed: 1.0 (by the event at 1.1), 2.0 (event at 2.0),
+	// 3,4,5 all collapsed into the event at 5.5.
+	want := []Time{1.1, 2.0, 5.5}
+	if len(times) != len(want) {
+		t.Fatalf("probe fired at %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("probe fired at %v, want %v", times, want)
+		}
+	}
+}
+
+// TestProbeDoesNotPerturbEngine: registering a probe changes no observable
+// engine state — same event count, same pending, same clock.
+func TestProbeDoesNotPerturbEngine(t *testing.T) {
+	run := func(withProbe bool) (fired uint64, now Time) {
+		e := NewEngine()
+		if withProbe {
+			e.Probe(0.25, func(Time) {})
+		}
+		var rec func()
+		n := 0
+		rec = func() {
+			n++
+			if n < 50 {
+				e.Schedule(0.1, rec)
+			}
+		}
+		e.Schedule(0, rec)
+		e.Run()
+		return e.Fired(), e.Now()
+	}
+	f0, t0 := run(false)
+	f1, t1 := run(true)
+	if f0 != f1 || t0 != t1 {
+		t.Fatalf("probe perturbed the engine: fired %d vs %d, now %v vs %v", f0, f1, t0, t1)
+	}
+}
+
+// TestProbeRunUntil: advancing the clock with RunUntil past a probe
+// boundary fires the probe at the target time.
+func TestProbeRunUntil(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Probe(1.0, func(now Time) { times = append(times, now) })
+	e.At(0.5, func() {})
+	e.RunUntil(3.5)
+	if len(times) != 1 || times[0] != 3.5 {
+		t.Fatalf("probe fired at %v, want [3.5]", times)
+	}
+	if e.Now() != 3.5 {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+// TestProbeSeesPostEventState: the probe observes state after the crossing
+// event's callback ran.
+func TestProbeSeesPostEventState(t *testing.T) {
+	e := NewEngine()
+	state := 0
+	var seen []int
+	e.Probe(1.0, func(Time) { seen = append(seen, state) })
+	e.At(1.0, func() { state = 1 })
+	e.At(2.0, func() { state = 2 })
+	e.Run()
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("probe saw %v, want [1 2]", seen)
+	}
+}
+
+func TestProbePanics(t *testing.T) {
+	e := NewEngine()
+	for _, iv := range []Time{0, -1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Probe(%v) did not panic", iv)
+				}
+			}()
+			e.Probe(iv, func(Time) {})
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Probe with nil fn did not panic")
+			}
+		}()
+		e.Probe(1, nil)
+	}()
+}
+
+// TestProbeAllocFree: steady-state probe dispatch must not allocate (the
+// zero-cost requirement extends to the enabled path's dispatch machinery;
+// what the callback itself does is the caller's business).
+func TestProbeAllocFree(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	e.Probe(1, func(Time) { fired++ })
+	tick := func() {}
+	next := Time(1)
+	allocs := testing.AllocsPerRun(100, func() {
+		e.At(next, tick)
+		e.Step()
+		next++
+	})
+	// Allow the event-slot pool and heap to have warmed up: after the first
+	// iterations nothing may allocate.
+	if allocs > 0 {
+		t.Fatalf("probe dispatch allocates %v per event", allocs)
+	}
+	if fired == 0 {
+		t.Fatalf("probe never fired")
+	}
+}

@@ -85,7 +85,9 @@ func parseCLFLine(line string) (path string, status int, size int64, ok bool) {
 		return "", 0, 0, false
 	}
 	sz, err := strconv.ParseInt(rest[1], 10, 64)
-	if err != nil {
+	if err != nil || sz <= 0 {
+		// A zero or negative byte count marks an incomplete transfer; the
+		// paper's preparation drops those, so the parser rejects them.
 		return "", 0, 0, false
 	}
 	parts := strings.Fields(request)
@@ -96,6 +98,10 @@ func parseCLFLine(line string) (path string, status int, size int64, ok bool) {
 	p := parts[1]
 	if q := strings.IndexByte(p, '?'); q >= 0 {
 		p = p[:q]
+	}
+	if p == "" {
+		// A bare "?" query with no path names no file.
+		return "", 0, 0, false
 	}
 	return p, st, sz, true
 }

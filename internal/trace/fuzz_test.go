@@ -2,15 +2,19 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
 
 // FuzzParseCLFLine: the log-line parser must be total — no panics, and
-// accepted lines must produce sane fields.
+// accepted lines must produce sane fields that survive a round trip
+// through a canonical re-serialization of the same record.
 func FuzzParseCLFLine(f *testing.F) {
 	f.Add(`h - - [d] "GET /a HTTP/1.0" 200 42`)
 	f.Add(`h - - [d] "GET /a?q=1 HTTP/1.1" 200 1`)
+	f.Add(`h - - [d] "GET /a HTTP/1.0" 200 -5`)
+	f.Add(`h - - [d] "GET /a HTTP/1.0" 304 0`)
 	f.Add(`garbage`)
 	f.Add(`"" 200 5`)
 	f.Add(`h "GET" -`)
@@ -28,7 +32,20 @@ func FuzzParseCLFLine(f *testing.F) {
 		if strings.ContainsRune(path, '?') {
 			t.Fatalf("query string survived: %q", path)
 		}
-		_ = status
+		// Round trip: write the extracted record back as a canonical CLF
+		// line and reparse. The triple must be preserved exactly (the
+		// extracted path is a whitespace-free field with queries already
+		// stripped, so canonicalization loses nothing).
+		canon := fmt.Sprintf(`host - - [01/Jan/2000:00:00:00 +0000] "GET %s HTTP/1.0" %d %d`,
+			path, status, size)
+		p2, st2, sz2, ok2 := parseCLFLine(canon)
+		if !ok2 {
+			t.Fatalf("canonical form of %q rejected: %q", line, canon)
+		}
+		if p2 != path || st2 != status || sz2 != size {
+			t.Fatalf("round trip changed (%q,%d,%d) -> (%q,%d,%d)",
+				path, status, size, p2, st2, sz2)
+		}
 	})
 }
 

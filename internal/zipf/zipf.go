@@ -55,10 +55,13 @@ func tailSum(alpha float64, a, b int64) float64 {
 	fa := math.Pow(float64(a), -alpha)
 	fb := math.Pow(float64(b), -alpha)
 	var integral float64
-	if alpha == 1 {
+	if d := 1 - alpha; d == 0 {
 		integral = math.Log(float64(b) / float64(a))
 	} else {
-		integral = (math.Pow(float64(b), 1-alpha) - math.Pow(float64(a), 1-alpha)) / (1 - alpha)
+		// (b^d - a^d)/d cancels catastrophically as alpha -> 1 (both powers
+		// round to 1); a^d * expm1(d*log(b/a))/d is the same integral but
+		// stays accurate through the limit.
+		integral = math.Pow(float64(a), d) * math.Expm1(d*math.Log(float64(b)/float64(a))) / d
 	}
 	// sum_{i=a..b} f(i) ~ integral + (fa+fb)/2 + (f'(b)-f'(a))/12, then drop f(a).
 	dfa := -alpha * math.Pow(float64(a), -alpha-1)
@@ -101,6 +104,11 @@ func SolveFiles(alpha float64, n int64, target float64) int64 {
 		panic(fmt.Sprintf("zipf: SolveFiles target must be positive, got %v", target))
 	}
 	lo, hi := n, int64(1)<<50
+	if hi < lo {
+		// n already exceeds the search bound: z(n, F) = 1 for every F we
+		// could return, so the smallest valid catalog is n itself.
+		return lo
+	}
 	if Z(alpha, n, hi) > target {
 		return hi
 	}
