@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json cover fuzz
+.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json bench-check cover fuzz
 
 all: build
 
@@ -21,9 +21,9 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# check is the tier-1 gate: formatting, static analysis, a full build, and
-# the whole test suite.
-check: fmt vet build test
+# check is the tier-1 gate: formatting, static analysis, a full build, the
+# whole test suite, and the hot-path performance floor.
+check: fmt vet build test bench-check
 
 # race exercises the deterministic sweep runner and the simulator under the
 # race detector — the parallel-equals-sequential guarantee is only as good
@@ -46,15 +46,24 @@ bench-hot:
 	$(GO) test ./internal/perf -bench=. -run=^$$
 
 # bench-json regenerates the committed hot-path baseline that future
-# performance PRs diff against.
+# performance PRs diff against, and records the same measurement as a
+# labeled point in the BENCH_hotpath.json trajectory.
+BENCH_LABEL ?= HEAD
+
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_simcore.json
+	$(GO) run ./cmd/benchjson -o BENCH_simcore.json -hotpath BENCH_hotpath.json -label $(BENCH_LABEL)
+
+# bench-check reruns the suite and fails if any benchmark's ns/op regressed
+# more than 10% against the committed baseline.
+bench-check:
+	$(GO) run ./cmd/benchjson -compare BENCH_simcore.json
 
 # cover enforces a per-package statement-coverage floor on the model and
 # infrastructure packages (commands are exercised end to end, not unit by
 # unit, so they are exempt).
 COVER_MIN ?= 60
-COVER_PKGS = ./internal/cache ./internal/core ./internal/netsim ./internal/obs \
+COVER_PKGS = ./internal/cache ./internal/core ./internal/fastmap \
+             ./internal/netsim ./internal/obs \
              ./internal/queuemodel ./internal/runner ./internal/server \
              ./internal/sim ./internal/stats ./internal/trace ./internal/zipf
 

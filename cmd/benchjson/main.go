@@ -5,11 +5,24 @@
 // Usage:
 //
 //	benchjson [-o BENCH_simcore.json] [-count 3]
+//	benchjson -compare BENCH_simcore.json [-tolerance 0.10]
+//	benchjson -o BENCH_simcore.json -hotpath BENCH_hotpath.json -label pr5
 //
 // Each benchmark runs count times and the fastest run is kept, which damps
 // scheduler noise in the committed baseline. The output maps benchmark name
 // to ns/op, B/op, allocs/op, and — for request-shaped benchmarks —
 // wall-clock requests per second.
+//
+// With -compare, no file is written: the suite runs and every benchmark's
+// ns/op is checked against the named baseline. A benchmark more than
+// tolerance slower than its baseline entry fails the run (exit status 1),
+// which is what `make bench-check` mechanizes. Benchmarks absent from the
+// baseline are reported as new and do not fail.
+//
+// With -hotpath, the measurements are also appended to a trajectory file:
+// a JSON array with one labeled entry per recorded point (one per PR, by
+// convention), so the per-structure history accumulates next to the
+// flat baseline. An entry with the same label is replaced in place.
 package main
 
 import (
@@ -31,9 +44,20 @@ type Entry struct {
 	Iterations  int     `json:"iterations"`
 }
 
+// TrajectoryPoint is one labeled measurement of the whole suite inside the
+// hotpath trajectory file.
+type TrajectoryPoint struct {
+	Label   string           `json:"label"`
+	Benches map[string]Entry `json:"benches"`
+}
+
 func main() {
 	out := flag.String("o", "BENCH_simcore.json", "output file (- for stdout)")
 	count := flag.Int("count", 3, "runs per benchmark (fastest is kept)")
+	compare := flag.String("compare", "", "baseline to check against instead of writing (exit 1 on regression)")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression in -compare mode")
+	hotpath := flag.String("hotpath", "", "trajectory file to append this measurement to")
+	label := flag.String("label", "HEAD", "label of the trajectory entry written with -hotpath")
 	flag.Parse()
 
 	entries := make(map[string]Entry)
@@ -59,19 +83,95 @@ func main() {
 			bench.Name, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp)
 	}
 
-	buf, err := json.MarshalIndent(entries, "", "  ")
+	if *compare != "" {
+		os.Exit(compareBaseline(*compare, entries, *tolerance))
+	}
+
+	writeJSON(*out, entries)
+	if *hotpath != "" {
+		appendTrajectory(*hotpath, *label, entries)
+	}
+}
+
+// compareBaseline reports every benchmark whose ns/op regressed beyond the
+// tolerance and returns the process exit status.
+func compareBaseline(path string, current map[string]Entry, tolerance float64) int {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	baseline := make(map[string]Entry)
+	if err := json.Unmarshal(buf, &baseline); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	status := 0
+	for _, bench := range perf.Benchmarks() {
+		cur, ok := current[bench.Name]
+		if !ok {
+			continue
+		}
+		base, ok := baseline[bench.Name]
+		if !ok || base.NsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "bench-check: %-24s new (no baseline entry)\n", bench.Name)
+			continue
+		}
+		ratio := cur.NsPerOp / base.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSION"
+			status = 1
+		}
+		fmt.Fprintf(os.Stderr, "bench-check: %-24s %12.1f vs %12.1f ns/op (%+.1f%%) %s\n",
+			bench.Name, cur.NsPerOp, base.NsPerOp, (ratio-1)*100, verdict)
+	}
+	if status != 0 {
+		fmt.Fprintf(os.Stderr, "bench-check: FAILED (tolerance %.0f%%)\n", tolerance*100)
+	} else {
+		fmt.Fprintf(os.Stderr, "bench-check: all benchmarks within %.0f%% of %s\n", tolerance*100, path)
+	}
+	return status
+}
+
+// appendTrajectory inserts (or replaces, when the label already exists) one
+// labeled point in the hotpath trajectory file.
+func appendTrajectory(path, label string, entries map[string]Entry) {
+	var points []TrajectoryPoint
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &points); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", path, err))
+		}
+	} else if !os.IsNotExist(err) {
+		fatal(err)
+	}
+	point := TrajectoryPoint{Label: label, Benches: entries}
+	replaced := false
+	for i := range points {
+		if points[i].Label == label {
+			points[i] = point
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		points = append(points, point)
+	}
+	writeJSON(path, points)
+}
+
+func writeJSON(path string, v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	buf = append(buf, '\n')
-	if *out == "-" {
+	if path == "-" {
 		os.Stdout.Write(buf)
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ package cache
 import (
 	"fmt"
 
+	"repro/internal/fastmap"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -43,7 +44,7 @@ type LRU struct {
 	freeHead int32
 	head     int32 // most recently used, none when empty
 	tail     int32 // least recently used, none when empty
-	items    map[FileID]int32
+	items    *fastmap.Map[int32]
 
 	hits          stats.Ratio
 	evictions     uint64 // capacity evictions only
@@ -85,7 +86,7 @@ func NewLRU(capacity int64) *LRU {
 		freeHead: none,
 		head:     none,
 		tail:     none,
-		items:    make(map[FileID]int32),
+		items:    fastmap.New[int32](0),
 	}
 }
 
@@ -96,13 +97,12 @@ func (c *LRU) Capacity() int64 { return c.capacity }
 func (c *LRU) Used() int64 { return c.used }
 
 // Len returns the number of cached files.
-func (c *LRU) Len() int { return len(c.items) }
+func (c *LRU) Len() int { return c.items.Len() }
 
 // Contains reports whether the file is cached, without touching LRU order
 // or statistics.
 func (c *LRU) Contains(id FileID) bool {
-	_, ok := c.items[id]
-	return ok
+	return c.items.Contains(int32(id))
 }
 
 // Access simulates serving the file: on a hit the file is refreshed to
@@ -132,7 +132,7 @@ func (c *LRU) touch(id FileID, size int64) bool {
 	if size < 0 {
 		panic(fmt.Sprintf("cache: negative size %d for file %d", size, id))
 	}
-	if i, ok := c.items[id]; ok {
+	if i, ok := c.items.Get(int32(id)); ok {
 		c.moveToFront(i)
 		return true
 	}
@@ -147,7 +147,7 @@ func (c *LRU) touch(id FileID, size int64) bool {
 	e.id = id
 	e.size = size
 	c.pushFront(i)
-	c.items[id] = i
+	c.items.Put(int32(id), i)
 	c.used += size
 	return false
 }
@@ -157,7 +157,7 @@ func (c *LRU) touch(id FileID, size int64) bool {
 // counted as an invalidation, not an eviction: Evictions measures capacity
 // pressure only.
 func (c *LRU) Evict(id FileID) bool {
-	i, ok := c.items[id]
+	i, ok := c.items.Get(int32(id))
 	if !ok {
 		return false
 	}
@@ -183,7 +183,7 @@ func (c *LRU) remove(i int32) {
 	id, size := e.id, e.size
 	c.unlink(i)
 	c.freeEntry(i)
-	delete(c.items, id)
+	c.items.Delete(int32(id))
 	c.used -= size
 	if c.OnEvict != nil {
 		c.OnEvict(id, size)

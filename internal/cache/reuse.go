@@ -3,7 +3,17 @@ package cache
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/fastmap"
 )
+
+// fileState is the per-file record of the curve builder: the latest access
+// position (1-based Fenwick index) and the last observed size, stored
+// together so a touch pays one index lookup instead of two.
+type fileState struct {
+	pos  int32
+	size int64
+}
 
 // CurveBuilder computes byte-granular LRU reuse distances over an access
 // stream in one pass (Mattson's stack algorithm with a Fenwick tree): the
@@ -14,10 +24,9 @@ import (
 // miss-ratio curve used to anchor the analytic model's hit rates for all
 // cluster sizes at once.
 type CurveBuilder struct {
-	bit      []int64          // Fenwick tree over access positions, holding sizes
-	position map[FileID]int32 // latest access position per file (1-based)
-	sizes    map[FileID]int64
-	next     int32
+	bit   []int64                 // Fenwick tree over access positions, holding sizes
+	files *fastmap.Map[fileState] // latest access position and size per file
+	next  int32
 
 	distances []int64 // recorded reuse distances of measured hits-or-misses
 	cold      uint64  // measured accesses with no previous reference
@@ -30,9 +39,8 @@ func NewCurveBuilder(accesses int) *CurveBuilder {
 		accesses = 16
 	}
 	return &CurveBuilder{
-		bit:      make([]int64, accesses+1),
-		position: make(map[FileID]int32),
-		sizes:    make(map[FileID]int64),
+		bit:   make([]int64, accesses+1),
+		files: fastmap.New[fileState](0),
 	}
 }
 
@@ -51,38 +59,37 @@ func (b *CurveBuilder) touch(id FileID, size int64, record bool) {
 	if size < 0 {
 		panic(fmt.Sprintf("cache: negative size %d for file %d", size, id))
 	}
-	prev, seen := b.position[id]
+	st, seen := b.files.Get(int32(id))
 	if record {
 		if !seen {
 			b.cold++
 		} else {
 			// Bytes of distinct files accessed strictly after prev, plus
 			// this file itself.
-			d := b.suffixSum(int(prev)) + b.sizes[id]
+			d := b.suffixSum(int(st.pos)) + st.size
 			b.distances = append(b.distances, d)
 		}
 	}
 	if seen {
-		b.update(int(prev), -b.sizes[id])
+		b.update(int(st.pos), -st.size)
 	}
 	b.next++
 	if int(b.next) >= len(b.bit) {
 		b.grow()
 	}
-	b.position[id] = b.next
-	b.sizes[id] = size
+	b.files.Put(int32(id), fileState{pos: b.next, size: size})
 	b.update(int(b.next), size)
 }
 
 func (b *CurveBuilder) grow() {
-	old := b.bit
-	n := len(old) * 2
-	b.bit = make([]int64, n)
+	b.bit = make([]int64, len(b.bit)*2)
 	// Rebuild from per-file positions (only live positions carry weight).
-	for id, pos := range b.position {
-		b.update(int(pos), b.sizes[id])
-	}
-	_ = old
+	// The Fenwick updates are additive, so the table's iteration order
+	// cannot affect the rebuilt tree.
+	b.files.Range(func(_ int32, st fileState) bool {
+		b.update(int(st.pos), st.size)
+		return true
+	})
 }
 
 // update adds delta at position i (1-based Fenwick).

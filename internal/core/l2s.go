@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fastmap"
 	"repro/internal/policy"
 )
 
@@ -104,7 +105,7 @@ type L2S struct {
 	lastSent []int
 	inFlight []bool
 
-	sets map[policy.FileID]*serverSet
+	sets *fastmap.Map[*serverSet]
 	all  []int
 
 	// Statistics.
@@ -144,7 +145,7 @@ func New(env policy.Env, opts Options) *L2S {
 		seen:     make([]int, n),
 		lastSent: make([]int, n),
 		inFlight: make([]bool, n),
-		sets:     make(map[policy.FileID]*serverSet),
+		sets:     fastmap.New[*serverSet](0),
 		all:      all,
 	}
 }
@@ -173,7 +174,7 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 	view := func(n int) int { return l.loadAs(initial, n) }
 	overloaded := func(n int) bool { return view(n) > l.opts.T }
 
-	set := l.sets[f]
+	set, _ := l.sets.Get(int32(f))
 	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
 		// First request for this file (or all its servers crashed): the
 		// initial node takes it unless it is overloaded, in which case the
@@ -184,7 +185,7 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 				svc = m
 			}
 		}
-		l.sets[f] = &serverSet{nodes: []int{svc}, modified: l.env.Now()}
+		l.sets.Put(int32(f), &serverSet{nodes: []int{svc}, modified: l.env.Now()})
 		l.broadcastSetChange(initial)
 		l.grows++
 		return svc
@@ -331,15 +332,16 @@ type Stats struct {
 func (l *L2S) Stats() Stats {
 	sizes := make(map[int]int)
 	replicated := 0
-	for _, s := range l.sets {
+	l.sets.Range(func(_ int32, s *serverSet) bool {
 		sizes[len(s.nodes)]++
 		if len(s.nodes) > 1 {
 			replicated++
 		}
-	}
+		return true
+	})
 	var frac float64
-	if len(l.sets) > 0 {
-		frac = float64(replicated) / float64(len(l.sets))
+	if l.sets.Len() > 0 {
+		frac = float64(replicated) / float64(l.sets.Len())
 	}
 	return Stats{
 		LoadBroadcasts: l.loadBroadcasts,
@@ -353,7 +355,7 @@ func (l *L2S) Stats() Stats {
 
 // ServerSet returns a copy of the current server set for a file, for tests.
 func (l *L2S) ServerSet(f policy.FileID) []int {
-	s := l.sets[f]
+	s, _ := l.sets.Get(int32(f))
 	if s == nil {
 		return nil
 	}

@@ -1,0 +1,202 @@
+// Package fastmap provides an open-addressed hash table specialized for the
+// simulator's hottest lookups: int32 keys (file ids) mapped to small values.
+//
+// The runtime's map[int32]V pays for genericity on every access — interface
+// hashing through the maphash seed, bucket overflow chains, and a tophash
+// probe — none of which the simulator needs. This table is a single flat
+// array probed linearly from a multiplicative hash, so the common case (the
+// key is where the hash says, or one slot over) is one multiply, one shift,
+// and one or two cache lines.
+//
+// Lookups, inserts, and deletes are strictly by key, so replacing a runtime
+// map with a Map cannot reorder or change any computation that consumes the
+// results: the simulator's outputs are bit-identical by construction.
+//
+// Deletion uses backward-shift compaction instead of tombstones: probe
+// sequences stay as short as the load factor allows no matter how much
+// insert/delete churn the table has seen, which matters for the LRU's
+// eviction-heavy steady state.
+package fastmap
+
+import (
+	"fmt"
+	"math"
+)
+
+// empty marks an unoccupied slot. The key space is all of int32 except this
+// one reserved value; Put panics on it rather than silently corrupting the
+// table. File ids are non-negative, so the simulator never gets near it.
+const empty int32 = math.MinInt32
+
+// minCap keeps tiny tables a few cache lines wide instead of degenerate.
+const minCap = 16
+
+// Map is an open-addressed int32→V hash table. The zero value is not
+// usable; call New. Map is not safe for concurrent use.
+type Map[V any] struct {
+	keys  []int32
+	vals  []V
+	n     int
+	mask  uint32 // len(keys)-1; len is always a power of two
+	shift uint   // 64 - log2(len(keys)), for multiply-shift hashing
+}
+
+// New returns a Map sized so that hint insertions do not trigger a grow.
+func New[V any](hint int) *Map[V] {
+	capacity := minCap
+	// Grow happens above 1/2 load, so size for hint <= 1/2 * capacity.
+	for capacity < hint*2 {
+		capacity *= 2
+	}
+	m := &Map[V]{}
+	m.init(capacity)
+	return m
+}
+
+func (m *Map[V]) init(capacity int) {
+	m.keys = make([]int32, capacity)
+	m.vals = make([]V, capacity)
+	for i := range m.keys {
+		m.keys[i] = empty
+	}
+	m.mask = uint32(capacity - 1)
+	m.shift = 64 - uint(log2(capacity))
+}
+
+func log2(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+// home returns the preferred slot for key k: a Fibonacci multiply-shift
+// hash, which spreads the sequential file ids of a rank-ordered catalog
+// across the table instead of clustering them.
+func (m *Map[V]) home(k int32) uint32 {
+	return uint32((uint64(uint32(k)) * 0x9e3779b97f4a7c15) >> m.shift)
+}
+
+// Len returns the number of live entries.
+func (m *Map[V]) Len() int { return m.n }
+
+// Get returns the value stored for k and whether it is present.
+func (m *Map[V]) Get(k int32) (V, bool) {
+	keys := m.keys
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		if keys[i] == k {
+			return m.vals[i], true
+		}
+		if keys[i] == empty {
+			var zero V
+			return zero, false
+		}
+	}
+}
+
+// Contains reports whether k is present.
+func (m *Map[V]) Contains(k int32) bool {
+	keys := m.keys
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		if keys[i] == k {
+			return true
+		}
+		if keys[i] == empty {
+			return false
+		}
+	}
+}
+
+// Put stores v for k, replacing any previous value.
+func (m *Map[V]) Put(k int32, v V) {
+	if k == empty {
+		panic(fmt.Sprintf("fastmap: key %d is reserved", k))
+	}
+	if (m.n+1)*2 > len(m.keys) {
+		m.grow()
+	}
+	keys := m.keys
+	for i := m.home(k); ; i = (i + 1) & m.mask {
+		if keys[i] == k {
+			m.vals[i] = v
+			return
+		}
+		if keys[i] == empty {
+			keys[i] = k
+			m.vals[i] = v
+			m.n++
+			return
+		}
+	}
+}
+
+// Delete removes k, reporting whether it was present. Removal compacts the
+// probe cluster in place (backward shift), so no tombstones accumulate.
+func (m *Map[V]) Delete(k int32) bool {
+	keys := m.keys
+	i := m.home(k)
+	for {
+		if keys[i] == empty {
+			return false
+		}
+		if keys[i] == k {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	// Shift later cluster members back over the hole when their home
+	// position permits it (i lies cyclically between home(j) and j).
+	var zero V
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if keys[j] == empty {
+			break
+		}
+		h := m.home(keys[j])
+		if ((j - h) & m.mask) >= ((j - i) & m.mask) {
+			keys[i] = keys[j]
+			m.vals[i] = m.vals[j]
+			i = j
+		}
+	}
+	keys[i] = empty
+	m.vals[i] = zero
+	m.n--
+	return true
+}
+
+// Range calls fn for every entry until fn returns false. The iteration
+// order is the table's internal slot order: deterministic for a given
+// insert/delete history, but otherwise unspecified.
+func (m *Map[V]) Range(fn func(k int32, v V) bool) {
+	for i, k := range m.keys {
+		if k == empty {
+			continue
+		}
+		if !fn(k, m.vals[i]) {
+			return
+		}
+	}
+}
+
+// grow doubles the table and reinserts every live entry.
+func (m *Map[V]) grow() {
+	oldKeys, oldVals := m.keys, m.vals
+	m.init(len(oldKeys) * 2)
+	for i, k := range oldKeys {
+		if k == empty {
+			continue
+		}
+		keys := m.keys
+		for j := m.home(k); ; j = (j + 1) & m.mask {
+			if keys[j] == empty {
+				keys[j] = k
+				m.vals[j] = oldVals[i]
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package fastmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialChurn drives a Map and the built-in map through the same
+// randomized insert/overwrite/delete/lookup history and demands identical
+// answers at every step — the same discipline the LRU differential test
+// applies to the intrusive list.
+func TestDifferentialChurn(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		m := New[int64](0)
+		ref := make(map[int32]int64)
+		const keyspace = 600 // small enough that deletes hit often
+		for op := 0; op < 200_000; op++ {
+			k := int32(rng.Intn(keyspace))
+			switch rng.Intn(4) {
+			case 0, 1: // insert/overwrite
+				v := rng.Int63()
+				m.Put(k, v)
+				ref[k] = v
+			case 2: // delete
+				got := m.Delete(k)
+				_, want := ref[k]
+				if got != want {
+					t.Fatalf("seed %d op %d: Delete(%d)=%v want %v", seed, op, k, got, want)
+				}
+				delete(ref, k)
+			case 3: // lookup
+				gv, gok := m.Get(k)
+				wv, wok := ref[k]
+				if gok != wok || gv != wv {
+					t.Fatalf("seed %d op %d: Get(%d)=(%v,%v) want (%v,%v)", seed, op, k, gv, gok, wv, wok)
+				}
+				if m.Contains(k) != wok {
+					t.Fatalf("seed %d op %d: Contains(%d) != %v", seed, op, k, wok)
+				}
+			}
+			if m.Len() != len(ref) {
+				t.Fatalf("seed %d op %d: Len=%d want %d", seed, op, m.Len(), len(ref))
+			}
+		}
+		// Full sweep: every surviving key agrees, and Range visits each
+		// exactly once.
+		seen := make(map[int32]bool)
+		m.Range(func(k int32, v int64) bool {
+			if seen[k] {
+				t.Fatalf("seed %d: Range visited %d twice", seed, k)
+			}
+			seen[k] = true
+			if wv, ok := ref[k]; !ok || wv != v {
+				t.Fatalf("seed %d: Range(%d)=%v want (%v,%v)", seed, k, v, wv, ok)
+			}
+			return true
+		})
+		if len(seen) != len(ref) {
+			t.Fatalf("seed %d: Range visited %d keys, want %d", seed, len(seen), len(ref))
+		}
+	}
+}
+
+// TestDeleteBackwardShift targets the compaction path with keys forced into
+// one probe cluster: after deleting from the middle of the cluster, every
+// remaining key must still be reachable.
+func TestDeleteBackwardShift(t *testing.T) {
+	m := New[int](64)
+	// Sequential keys: the multiplicative hash spreads them, so collide a
+	// cluster deliberately by filling past half of a fixed table.
+	keys := make([]int32, 0, 24)
+	for k := int32(0); k < 24; k++ {
+		m.Put(k, int(k)*10)
+		keys = append(keys, k)
+	}
+	for _, del := range []int32{5, 0, 23, 11, 12, 13} {
+		if !m.Delete(del) {
+			t.Fatalf("Delete(%d) missed", del)
+		}
+		for _, k := range keys {
+			deleted := false
+			for _, d := range []int32{5, 0, 23, 11, 12, 13} {
+				if d == k {
+					deleted = true
+				}
+			}
+			v, ok := m.Get(k)
+			if deleted && ok && v != int(k)*10 {
+				t.Fatalf("deleted key %d resurfaced with %d", k, v)
+			}
+			if !deleted && (!ok || v != int(k)*10) {
+				t.Fatalf("key %d lost after deleting %d: (%v,%v)", k, del, v, ok)
+			}
+		}
+		keys2 := keys[:0]
+		for _, k := range keys {
+			if k != del {
+				keys2 = append(keys2, k)
+			}
+		}
+		keys = keys2
+	}
+}
+
+// TestGrowPreservesEntries fills far past the initial capacity.
+func TestGrowPreservesEntries(t *testing.T) {
+	m := New[int32](0)
+	const n = 50_000
+	for k := int32(0); k < n; k++ {
+		m.Put(k, -k)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len=%d want %d", m.Len(), n)
+	}
+	for k := int32(0); k < n; k++ {
+		if v, ok := m.Get(k); !ok || v != -k {
+			t.Fatalf("Get(%d)=(%v,%v) after grow", k, v, ok)
+		}
+	}
+}
+
+// TestNewHint checks hint sizing never makes an unusable table and a zero
+// value of operations behave on an empty map.
+func TestNewHint(t *testing.T) {
+	for _, hint := range []int{-1, 0, 1, 15, 16, 17, 1000} {
+		m := New[string](hint)
+		if _, ok := m.Get(1); ok {
+			t.Fatalf("hint %d: phantom entry", hint)
+		}
+		if m.Delete(1) {
+			t.Fatalf("hint %d: deleted from empty map", hint)
+		}
+		m.Put(1, "x")
+		if v, _ := m.Get(1); v != "x" {
+			t.Fatalf("hint %d: lost insert", hint)
+		}
+	}
+}
+
+// TestReservedKeyPanics pins the reserved-sentinel contract.
+func TestReservedKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put(reserved) did not panic")
+		}
+	}()
+	New[int](0).Put(math.MinInt32, 1)
+}
+
+// TestRangeEarlyStop checks Range honors a false return.
+func TestRangeEarlyStop(t *testing.T) {
+	m := New[int](0)
+	for k := int32(0); k < 10; k++ {
+		m.Put(k, 0)
+	}
+	visits := 0
+	m.Range(func(int32, int) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Fatalf("Range visited %d entries after false", visits)
+	}
+}

@@ -51,7 +51,8 @@ type Network struct {
 	// built-in counter it survives ResetStats.
 	mMessages *obs.Counter
 
-	msgPool []*message // recycled in-flight message state
+	msgPool   []*message   // recycled in-flight message state
+	bcastPool []*broadcast // recycled in-flight broadcast state
 }
 
 // message is the pooled state of one point-to-point Send: the five hops of
@@ -87,6 +88,41 @@ func (nw *Network) getMessage() *message {
 		}
 	}
 	return m
+}
+
+// broadcast is the pooled state of one Broadcast: the arrival count plus
+// the caller's completion callback, with a single pre-bound arrive method
+// value shared by every receiver. The per-receiver closures this replaces
+// were the simulator's largest remaining allocation source.
+type broadcast struct {
+	nw        *Network
+	remaining int
+	delivered func()
+
+	arrived func()
+}
+
+func (b *broadcast) arrive() {
+	b.remaining--
+	if b.remaining == 0 {
+		delivered := b.delivered
+		b.delivered = nil
+		b.nw.bcastPool = append(b.nw.bcastPool, b)
+		if delivered != nil {
+			delivered()
+		}
+	}
+}
+
+func (nw *Network) getBroadcast() *broadcast {
+	if n := len(nw.bcastPool); n > 0 {
+		b := nw.bcastPool[n-1]
+		nw.bcastPool = nw.bcastPool[:n-1]
+		return b
+	}
+	b := &broadcast{nw: nw}
+	b.arrived = b.arrive
+	return b
 }
 
 // New builds the network. The router is a single shared service center.
@@ -156,16 +192,14 @@ func (nw *Network) Broadcast(from *cluster.Node, others []*cluster.Node, kb floa
 		}
 		return
 	}
+	b := nw.getBroadcast()
+	b.remaining = remaining
+	b.delivered = delivered
 	for _, n := range others {
 		if n == from || n.Failed() {
 			continue
 		}
-		nw.Send(from, n, kb, func() {
-			remaining--
-			if remaining == 0 && delivered != nil {
-				delivered()
-			}
-		})
+		nw.Send(from, n, kb, b.arrived)
 	}
 }
 

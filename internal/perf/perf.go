@@ -17,7 +17,9 @@ import (
 	"repro/internal/cache"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/zipf"
 )
 
 // Bench is one named hot-path benchmark. Requests is the number of
@@ -38,6 +40,9 @@ func Benchmarks() []Bench {
 		{Name: "ResourceAcquire", Fn: ResourceAcquire},
 		{Name: "LRUAccess", Fn: LRUAccess},
 		{Name: "LRUAccessEvict", Fn: LRUAccessEvict},
+		{Name: "ZipfSample10k", Fn: ZipfSample10k},
+		{Name: "ZipfSample1M", Fn: ZipfSample1M},
+		{Name: "HistAdd", Fn: HistAdd},
 		{Name: "ServerRun", Fn: ServerRun, Requests: serverRunRequests},
 	}
 }
@@ -143,6 +148,48 @@ func LRUAccessEvict(b *testing.B) {
 		if i%4 == 3 {
 			c.Evict(ids[(j+len(ids)/2)%len(ids)])
 		}
+	}
+}
+
+// zipfSample measures one popularity draw against a fixed catalog size.
+// Run at two sizes two decades apart, the pair demonstrates the guide
+// table's O(1) expected cost: ns/op stays flat where the binary-search
+// inversion it replaced grew with log F (see the reference benchmarks in
+// internal/zipf).
+func zipfSample(b *testing.B, files int64) {
+	b.ReportAllocs()
+	d := zipf.New(0.8, files)
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += d.Sample(rng)
+	}
+	benchSink = sink
+}
+
+// ZipfSample10k draws from a 10^4-file catalog.
+func ZipfSample10k(b *testing.B) { zipfSample(b, 10_000) }
+
+// ZipfSample1M draws from a 10^6-file catalog.
+func ZipfSample1M(b *testing.B) { zipfSample(b, 1_000_000) }
+
+// benchSink defeats dead-code elimination in value-returning benches.
+var benchSink int64
+
+// HistAdd measures one latency record into the log2 histogram — paid once
+// per completed request in every simulated run.
+func HistAdd(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(9))
+	samples := make([]float64, 8192)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64() * 0.05 // latency-shaped: tens of ms
+	}
+	h := stats.NewHistogram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(samples[i%len(samples)])
 	}
 }
 

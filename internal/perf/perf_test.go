@@ -12,4 +12,7 @@ func BenchmarkEngineCancel(b *testing.B)           { EngineCancel(b) }
 func BenchmarkResourceAcquire(b *testing.B)        { ResourceAcquire(b) }
 func BenchmarkLRUAccess(b *testing.B)              { LRUAccess(b) }
 func BenchmarkLRUAccessEvict(b *testing.B)         { LRUAccessEvict(b) }
+func BenchmarkZipfSample10k(b *testing.B)          { ZipfSample10k(b) }
+func BenchmarkZipfSample1M(b *testing.B)           { ZipfSample1M(b) }
+func BenchmarkHistAdd(b *testing.B)                { HistAdd(b) }
 func BenchmarkServerRun(b *testing.B)              { ServerRun(b) }

@@ -1,6 +1,10 @@
 package policy
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fastmap"
+)
 
 // LARDOptions are the execution parameters of the LARD server. The defaults
 // are the values determined by Pai et al. and reused by the paper ("we use
@@ -50,7 +54,7 @@ type LARD struct {
 	feLoad   []int // front-end's view of each node's load
 	pending  []int // completions not yet reported to the front-end
 
-	sets     map[FileID]*lardSet
+	sets     *fastmap.Map[*lardSet]
 	assigned uint64
 }
 
@@ -78,7 +82,7 @@ func NewLARD(env Env, opts LARDOptions) *LARD {
 		backends: backends,
 		feLoad:   make([]int, n),
 		pending:  make([]int, n),
-		sets:     make(map[FileID]*lardSet),
+		sets:     fastmap.New[*lardSet](0),
 	}
 }
 
@@ -115,13 +119,13 @@ func (l *LARD) Service(initial int, f FileID) int {
 		return 0
 	}
 	view := func(n int) int { return l.feLoad[n] }
-	set := l.sets[f]
+	set, _ := l.sets.Get(int32(f))
 	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
 		n := argmin(l.env, l.backends, view)
 		if n < 0 {
 			return initial // cluster effectively down
 		}
-		l.sets[f] = &lardSet{nodes: []int{n}, modified: l.env.Now()}
+		l.sets.Put(int32(f), &lardSet{nodes: []int{n}, modified: l.env.Now()})
 		return n
 	}
 	n := l.leastLoadedMember(set, view)
@@ -207,8 +211,9 @@ func (l *LARD) OnComplete(n int, f FileID) {
 // and tests.
 func (l *LARD) SetSizes() map[int]int {
 	out := make(map[int]int)
-	for _, s := range l.sets {
+	l.sets.Range(func(_ int32, s *lardSet) bool {
 		out[len(s.nodes)]++
-	}
+		return true
+	})
 	return out
 }

@@ -13,9 +13,9 @@
 // The calendar is allocation-free in steady state: events live in a pooled
 // slot array reached through a slice-backed binary heap of plain values, so
 // scheduling and firing never touch the garbage collector once the pool has
-// grown to the simulation's high-water mark. Event handles carry a
-// generation counter, which keeps Cancel safe (a no-op) after the event has
-// fired and its slot has been recycled.
+// grown to the simulation's high-water mark. Event handles carry the
+// scheduling sequence number, which keeps Cancel safe (a no-op) after the
+// event has fired and its slot has been recycled.
 package sim
 
 import (
@@ -32,65 +32,97 @@ type Time = float64
 type Event struct {
 	eng  *Engine
 	slot int32
-	gen  uint32
+	seq  uint64
 }
 
 // When returns the simulated time at which the event is scheduled to fire,
 // or NaN if it already fired or was cancelled.
 func (ev Event) When() Time {
-	if ev.eng == nil || ev.eng.slots[ev.slot].gen != ev.gen {
+	if ev.eng == nil || ev.eng.slots[ev.slot].seq != ev.seq {
 		return math.NaN()
 	}
 	return ev.eng.slots[ev.slot].when
 }
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired or was already cancelled is a no-op: the generation counter in the
+// fired or was already cancelled is a no-op: the sequence number in the
 // handle no longer matches the recycled slot's.
 func (ev Event) Cancel() {
 	if ev.eng == nil {
 		return
 	}
 	s := &ev.eng.slots[ev.slot]
-	if s.gen != ev.gen {
+	if s.seq != ev.seq {
 		return
 	}
 	ev.eng.pending--
 	ev.eng.freeSlot(ev.slot)
 }
 
+// invalidSeq marks a free slot. push never assigns it (the sequence counter
+// is bounded far below), so a freed slot matches no outstanding handle and
+// no stale calendar entry.
+const invalidSeq = ^uint64(0)
+
 // eventSlot is pooled per-event state. A slot is live between schedule and
-// fire/cancel; gen increments on every release, invalidating stale handles
-// and stale heap entries alike.
+// fire/cancel; seq holds the scheduling sequence number while live and
+// invalidSeq while free, which invalidates stale handles and stale heap
+// entries alike.
 //
 // A slot carries either a generic callback (fn) or a resource completion
 // (res + done). Resource completions are common enough — every Acquire
 // schedules one — that representing them directly saves a closure per job.
+// Which pair is live is encoded in the calendar entry's key (see
+// heapEntry), not in the slot itself.
+//
+// Releasing a slot deliberately leaves its fn/res/done pointers in place:
+// the calendar's kind bit decides which pair the next fire reads, so stale
+// pointers are never followed, and skipping the nil stores keeps the
+// release path free of GC write barriers (a measurable cost when every
+// simulated event passes through here). The pointers a retired slot pins
+// are the pooled jobs and method-value callbacks of the model, which live
+// for the whole run anyway.
 type eventSlot struct {
 	when Time
+	seq  uint64
 	fn   func()
 	res  *Resource
 	done func()
-	gen  uint32
 	next int32 // free-list link while the slot is free
 }
 
-// heapEntry is one calendar entry: the ordering key as plain values plus
-// the slot it refers to. Comparisons never chase a pointer, and pushing or
-// popping moves 24-byte values within one slice.
+// Calendar-key layout: seq in the high bits, then one kind bit, then the
+// slot index. Comparing keys compares seq first, and seq is unique, so key
+// order IS schedule order; the kind and slot bits ride along for free.
+const (
+	slotBits = 20
+	maxSlots = 1 << slotBits // 1M simultaneously pending events
+	kindBit  = uint64(1) << slotBits
+	seqShift = slotBits + 1
+	maxSeq   = uint64(1)<<(64-seqShift) - 1 // ~8.8e12 schedulings per engine
+)
+
+// heapEntry is one calendar entry: the firing time plus a packed key
+// holding (sequence, kind, slot). Sixteen bytes per entry means four
+// entries per cache line; the calendar array is the hottest memory in the
+// simulator, and every byte of entry width is paid on every sift move.
 type heapEntry struct {
 	when Time
-	seq  uint64
-	slot int32
-	gen  uint32
+	key  uint64
 }
 
+// before orders entries by (when, seq); the kind and slot bits in the low
+// end of the key never matter because seq alone is unique.
 func (a heapEntry) before(b heapEntry) bool {
 	if a.when != b.when {
 		return a.when < b.when
 	}
-	return a.seq < b.seq
+	return a.key < b.key
 }
+
+func (en heapEntry) slot() int32        { return int32(en.key & (maxSlots - 1)) }
+func (en heapEntry) isCompletion() bool { return en.key&kindBit != 0 }
+func (en heapEntry) entrySeq() uint64   { return en.key >> seqShift }
 
 // probe is an observation hook that fires outside the event calendar (see
 // Engine.Probe).
@@ -100,11 +132,32 @@ type probe struct {
 	fn    func(Time)
 }
 
+// stagedCap bounds the staging buffer in front of the heap. Sixteen
+// entries (four cache lines) absorb the bursts of back-to-back near-term
+// events the model produces (message hops, CPU chunks) with room to spare;
+// larger buffers make the worst-case insertion shift exceed what they save.
+const stagedCap = 16
+
 // Engine is a discrete-event simulator: a clock plus an event calendar.
 // The zero value is not usable; call NewEngine.
+//
+// The calendar is a binary heap fronted by a small sorted staging buffer
+// (descending, so the minimum is its last element). New events
+// insertion-sort into the buffer; a pop takes the smaller of the buffer's
+// minimum and the heap root, so the fire order is still exactly minimal in
+// (when, seq) — bit-identical to a pure heap by construction. The buffer
+// pays off because of a strong property of queueing models: most scheduled
+// events are near-term (a message hop a few microseconds out, a CPU chunk
+// on an idle resource) while the heap holds far-out completions, so the
+// freshly pushed event is very often the next to fire — it appends to the
+// buffer with one comparison and pops from it with another, never paying a
+// sift. Only events that linger long enough for the buffer to fill around
+// them overflow into the heap, once.
 type Engine struct {
 	now     Time
 	seq     uint64
+	staged  [stagedCap]heapEntry // sorted descending: the minimum is last
+	nstaged int
 	heap    []heapEntry
 	slots   []eventSlot
 	free    int32 // head of the slot free list, -1 when empty
@@ -146,20 +199,22 @@ func (e *Engine) At(t Time, fn func()) Event {
 	s := &e.slots[slot]
 	s.when = t
 	s.fn = fn
-	e.push(t, slot, s.gen)
-	return Event{eng: e, slot: slot, gen: s.gen}
+	seq := e.push(t, uint64(uint32(slot)))
+	s.seq = seq
+	return Event{eng: e, slot: slot, seq: seq}
 }
 
 // atCompletion schedules a resource-completion event: when it fires, r
 // retires one job and then calls done. Storing the pair in the slot instead
-// of a closure keeps Resource.Acquire allocation-free.
+// of a closure keeps Resource.Acquire allocation-free. The calendar key
+// carries the kind bit, marking the event as a completion.
 func (e *Engine) atCompletion(t Time, r *Resource, done func()) {
 	slot := e.allocSlot()
 	s := &e.slots[slot]
 	s.when = t
 	s.res = r
 	s.done = done
-	e.push(t, slot, s.gen)
+	s.seq = e.push(t, uint64(uint32(slot))|kindBit)
 }
 
 // allocSlot takes a slot from the free list, growing the pool if none is
@@ -170,28 +225,58 @@ func (e *Engine) allocSlot() int32 {
 		e.free = e.slots[slot].next
 		return slot
 	}
-	e.slots = append(e.slots, eventSlot{next: -1})
+	if len(e.slots) >= maxSlots {
+		panic(fmt.Sprintf("sim: more than %d events pending", maxSlots))
+	}
+	e.slots = append(e.slots, eventSlot{next: -1, seq: invalidSeq})
 	return int32(len(e.slots) - 1)
 }
 
-// freeSlot releases a slot back to the pool. Bumping gen invalidates every
-// outstanding handle and heap entry that still names the slot.
+// freeSlot releases a slot back to the pool. Resetting seq invalidates
+// every outstanding handle and heap entry that still names the slot. The
+// callback pointers stay behind on purpose (see eventSlot): this function
+// writes only scalars, so releasing an event costs no GC write barrier.
 func (e *Engine) freeSlot(slot int32) {
 	s := &e.slots[slot]
-	s.fn = nil
-	s.res = nil
-	s.done = nil
-	s.gen++
+	s.seq = invalidSeq
 	s.next = e.free
 	e.free = slot
 }
 
-// push appends a calendar entry and restores the heap order.
-func (e *Engine) push(t Time, slot int32, gen uint32) {
-	e.heap = append(e.heap, heapEntry{when: t, seq: e.seq, slot: slot, gen: gen})
+// push stages a calendar entry for the given low key bits (slot index plus
+// kind bit). It returns the sequence number assigned to the scheduling.
+func (e *Engine) push(t Time, low uint64) uint64 {
+	seq := e.seq
+	if seq > maxSeq {
+		panic("sim: scheduling sequence numbers exhausted")
+	}
 	e.seq++
 	e.pending++
-	e.siftUp(len(e.heap) - 1)
+	if e.nstaged == stagedCap {
+		e.flushStaged()
+	}
+	en := heapEntry{when: t, key: seq<<seqShift | low}
+	// Insertion-sort into the descending buffer. The common push is a new
+	// minimum (the model schedules mostly near-term events), which lands at
+	// the end after a single failed comparison.
+	p := e.nstaged
+	for p > 0 && e.staged[p-1].before(en) {
+		e.staged[p] = e.staged[p-1]
+		p--
+	}
+	e.staged[p] = en
+	e.nstaged++
+	return seq
+}
+
+// flushStaged spills the staging buffer into the heap. Entries that make
+// it here are the long-lived ones; each pays its sift exactly once.
+func (e *Engine) flushStaged() {
+	for i := 0; i < e.nstaged; i++ {
+		e.heap = append(e.heap, e.staged[i])
+		e.siftUp(len(e.heap) - 1)
+	}
+	e.nstaged = 0
 }
 
 func (e *Engine) siftUp(i int) {
@@ -208,51 +293,93 @@ func (e *Engine) siftUp(i int) {
 	h[i] = entry
 }
 
-// popMin removes and returns the root entry. The caller checks staleness.
+// popMin removes and returns the root entry.
+//
+// The displaced last element is reinserted bottom-up (Wegener's heapsort
+// refinement): the hole at the root first descends the min-child path with
+// one comparison per level, then the element bubbles up from the leaf. The
+// last element of a heap is almost always among its largest, so the upward
+// phase usually ends immediately — about half the comparisons of the
+// classic descent, which compares the element against both children at
+// every level. The heap's shape after the pop can differ from the classic
+// variant's, but every shape is a valid heap over the same strict total
+// order (when, seq), so the sequence of popped minima — the only thing the
+// simulation observes — is identical.
 func (e *Engine) popMin() heapEntry {
 	h := e.heap
 	top := h[0]
 	last := len(h) - 1
-	h[0] = h[last]
+	entry := h[last]
 	e.heap = h[:last]
-	if last > 0 {
-		e.siftDown(0)
+	if last == 0 {
+		return top
 	}
+	h = h[:last]
+	n := last
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h[c+1].before(h[c]) {
+			c++
+		}
+		h[i] = h[c]
+		i = c
+	}
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entry.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = entry
 	return top
 }
 
-func (e *Engine) siftDown(i int) {
-	h := e.heap
-	n := len(h)
-	entry := h[i]
+// peekLive returns the (when, seq)-minimal live calendar entry across the
+// staging buffer and the heap, discarding stale entries (cancelled events,
+// detected by the sequence mismatch against the slot) as it finds them.
+// fromStaged reports where the entry lives — the buffer's minimum is its
+// last element, the heap's is its root — so the caller can remove exactly
+// that entry. ok is false when the calendar is empty.
+func (e *Engine) peekLive() (fromStaged bool, entry heapEntry, ok bool) {
 	for {
-		child := 2*i + 1
-		if child >= n {
-			break
+		has := false
+		if len(e.heap) > 0 {
+			entry = e.heap[0]
+			has = true
 		}
-		if r := child + 1; r < n && h[r].before(h[child]) {
-			child = r
+		fromStaged = false
+		if e.nstaged > 0 {
+			if s := e.staged[e.nstaged-1]; !has || s.before(entry) {
+				entry = s
+				fromStaged = true
+				has = true
+			}
 		}
-		if !h[child].before(entry) {
-			break
+		if !has {
+			return false, heapEntry{}, false
 		}
-		h[i] = h[child]
-		i = child
+		if e.slots[entry.slot()].seq == entry.entrySeq() {
+			return fromStaged, entry, true
+		}
+		e.removeTop(fromStaged)
 	}
-	h[i] = entry
 }
 
-// nextLive pops stale entries (whose event was cancelled and whose slot has
-// been recycled, detected by the generation mismatch) until the root is
-// live. It reports false when the calendar is empty.
-func (e *Engine) nextLive() bool {
-	for len(e.heap) > 0 {
-		if e.slots[e.heap[0].slot].gen == e.heap[0].gen {
-			return true
-		}
-		e.popMin()
+// removeTop removes the calendar entry peekLive located: the buffer's
+// minimum is shed by shrinking the buffer (it is sorted descending), the
+// heap's by popping the root.
+func (e *Engine) removeTop(fromStaged bool) {
+	if fromStaged {
+		e.nstaged--
+		return
 	}
-	return false
+	e.popMin()
 }
 
 // Probe registers an observation hook that fires whenever the clock
@@ -289,22 +416,30 @@ func (e *Engine) runProbes() {
 
 // Step fires the next event. It reports false when the calendar is empty.
 func (e *Engine) Step() bool {
-	if !e.nextLive() {
+	fromStaged, entry, ok := e.peekLive()
+	if !ok {
 		return false
 	}
-	entry := e.popMin()
+	e.fire(fromStaged, entry)
+	return true
+}
+
+// fire removes the entry peekLive located and runs its callback.
+func (e *Engine) fire(fromStaged bool, entry heapEntry) {
+	e.removeTop(fromStaged)
 	if entry.when < e.now {
 		panic("sim: time went backwards")
 	}
 	// Copy the callback out and release the slot before invoking it: the
 	// callback is free to schedule new events into the recycled slot.
-	s := &e.slots[entry.slot]
+	slot := entry.slot()
+	s := &e.slots[slot]
 	fn, res, done := s.fn, s.res, s.done
 	e.pending--
-	e.freeSlot(entry.slot)
+	e.freeSlot(slot)
 	e.now = entry.when
 	e.fired++
-	if res != nil {
+	if entry.isCompletion() {
 		res.complete(done)
 	} else {
 		fn()
@@ -312,7 +447,6 @@ func (e *Engine) Step() bool {
 	if len(e.probes) != 0 {
 		e.runProbes()
 	}
-	return true
 }
 
 // Run fires events until the calendar is empty.
@@ -324,8 +458,12 @@ func (e *Engine) Run() {
 // RunUntil fires events with timestamps at or before t, then advances the
 // clock to t. Events scheduled for later instants remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for e.nextLive() && e.heap[0].when <= t {
-		e.Step()
+	for {
+		fromStaged, entry, ok := e.peekLive()
+		if !ok || entry.when > t {
+			break
+		}
+		e.fire(fromStaged, entry)
 	}
 	if t > e.now {
 		e.now = t

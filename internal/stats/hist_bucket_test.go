@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBucketOfIsExactFloor pins the Frexp bucketing to the mathematical
+// floor(log2 x) at the places float arithmetic gets it wrong: exact powers
+// of two (which belong to their own bucket, not the one below), values one
+// ulp either side of a power of two, and subnormals.
+func TestBucketOfIsExactFloor(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1, 0},
+		{2, 1},
+		{math.Nextafter(2, 0), 0}, // just below 2: math.Log2 rounds this to 1.0
+		{math.Nextafter(2, 3), 1}, // just above 2
+		{0.5, -1},
+		{math.Nextafter(1, 0), -1}, // just below 1
+		{1 << 20, 20},
+		{math.Nextafter(1<<20, 0), 19},
+		{math.SmallestNonzeroFloat64, -1074},
+		{math.MaxFloat64, 1023},
+		{3, 1},
+		{1.5e-9, -30},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.x); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// TestBucketIndexInRange sweeps the representable positive range and checks
+// every sample lands inside the fixed bucket array.
+func TestBucketIndexInRange(t *testing.T) {
+	h := NewHistogram()
+	for _, x := range []float64{
+		math.SmallestNonzeroFloat64, 1e-300, 1e-9, 1, 1e9, 1e300, math.MaxFloat64,
+	} {
+		h.Add(x) // panics on an out-of-range index
+	}
+	if h.N() != 7 {
+		t.Fatalf("N=%d", h.N())
+	}
+}
+
+// TestHistogramQuantileMatchesMapSemantics re-verifies the quantile walk on
+// the slice-backed buckets: the answer must be the geometric midpoint of
+// the first bucket whose cumulative count reaches the target, scanning
+// buckets in ascending exponent order exactly as the sorted-key map walk
+// did.
+func TestHistogramQuantileMatchesMapSemantics(t *testing.T) {
+	h := NewHistogram()
+	// 10 samples in [1,2), 80 in [8,16), 10 in [1024,2048).
+	for i := 0; i < 10; i++ {
+		h.Add(1.5)
+	}
+	for i := 0; i < 80; i++ {
+		h.Add(9)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1500)
+	}
+	if got, want := h.Quantile(0.05), math.Pow(2, 0)*math.Sqrt2; got != want {
+		t.Fatalf("p05=%v want %v", got, want)
+	}
+	if got, want := h.Quantile(0.5), math.Pow(2, 3)*math.Sqrt2; got != want {
+		t.Fatalf("p50=%v want %v", got, want)
+	}
+	if got, want := h.Quantile(0.99), math.Pow(2, 10)*math.Sqrt2; got != want {
+		t.Fatalf("p99=%v want %v", got, want)
+	}
+	if got, want := h.Quantile(1), math.Pow(2, 10)*math.Sqrt2; got != want {
+		t.Fatalf("p100=%v want %v", got, want)
+	}
+}

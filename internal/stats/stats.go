@@ -7,7 +7,6 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -148,10 +147,25 @@ func (w *TimeWeighted) Reset(t float64) {
 	w.began = true
 }
 
+// The bucket array spans every positive float64: bucket k counts samples in
+// [2^(k+minExp), 2^(k+minExp+1)). minExp is the exponent of the smallest
+// subnormal; 2^maxExp is the leading power of the largest finite float64.
+// The full span is 2098 buckets — 16 KB per histogram — which buys an
+// unconditional array increment per sample with no range bookkeeping.
+const (
+	histMinExp  = -1074
+	histMaxExp  = 1023
+	histBuckets = histMaxExp - histMinExp + 1
+)
+
 // Histogram is a base-2 logarithmic histogram for positive quantities whose
 // interesting range spans several orders of magnitude (latencies, sizes).
+// Buckets are a flat array indexed by exponent, so recording a sample is an
+// increment, not a map access; this sits on the simulator's per-completion
+// path.
 type Histogram struct {
-	buckets map[int]uint64
+	buckets []uint64
+	lo, hi  int // occupied bucket index range; lo > hi while empty
 	count   uint64
 	sum     float64
 	zero    uint64 // samples <= 0
@@ -159,7 +173,7 @@ type Histogram struct {
 
 // NewHistogram returns an empty histogram.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]uint64)}
+	return &Histogram{buckets: make([]uint64, histBuckets), lo: histBuckets, hi: -1}
 }
 
 // Add records a sample.
@@ -170,11 +184,23 @@ func (h *Histogram) Add(x float64) {
 		h.zero++
 		return
 	}
-	h.buckets[bucketOf(x)]++
+	b := bucketOf(x) - histMinExp
+	h.buckets[b]++
+	if b < h.lo {
+		h.lo = b
+	}
+	if b > h.hi {
+		h.hi = b
+	}
 }
 
+// bucketOf returns floor(log2(x)) for positive x, exactly: Frexp decomposes
+// x as frac * 2^exp with frac in [0.5, 1), so the floor is exp-1 with no
+// float rounding involved (math.Log2 can round up to an integer for x just
+// below a power of two, misplacing the sample by one bucket).
 func bucketOf(x float64) int {
-	return int(math.Floor(math.Log2(x)))
+	_, exp := math.Frexp(x)
+	return exp - 1
 }
 
 // N returns the number of samples.
@@ -202,20 +228,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if cum >= target {
 		return 0
 	}
-	keys := make([]int, 0, len(h.buckets))
-	for k := range h.buckets {
-		keys = append(keys, k)
-	}
-	sort.Ints(keys)
-	for _, k := range keys {
-		cum += h.buckets[k]
+	for b := h.lo; b <= h.hi; b++ {
+		cum += h.buckets[b]
 		if cum >= target {
-			lo := math.Pow(2, float64(k))
+			lo := math.Pow(2, float64(b+histMinExp))
 			return lo * math.Sqrt2 // geometric midpoint of [2^k, 2^(k+1))
 		}
 	}
-	last := keys[len(keys)-1]
-	return math.Pow(2, float64(last+1))
+	return math.Pow(2, float64(h.hi+histMinExp+1))
 }
 
 // String renders a compact textual summary.

@@ -132,11 +132,21 @@ func SolveFiles(alpha float64, n int64, target float64) int64 {
 }
 
 // Dist is a concrete Zipf-like distribution over ranks 1..F, with a
-// precomputed CDF for O(log F) sampling and O(1) popularity queries.
+// precomputed CDF and guide table for O(1) expected sampling and O(1)
+// popularity queries.
 type Dist struct {
 	Alpha float64
 	F     int64
+	norm  float64   // normalization constant: sum_{i=1..F} i^-alpha
 	cdf   []float64 // cdf[i] = P(rank <= i+1)
+
+	// guide is the cutpoint table of the inverse-CDF sampler: guide[j] is
+	// the smallest index i with cdf[i] >= j/K, for K = F cutpoints. A draw
+	// starts its linear scan at guide[floor(u*K)], which on average leaves
+	// O(1) CDF entries to walk regardless of F. nil when F is too large to
+	// index with int32; Sample then falls back to binary search.
+	guide  []int32
+	kscale float64 // float64(K)
 }
 
 // New builds the distribution. F must be at least 1; alpha must be >= 0.
@@ -157,18 +167,43 @@ func New(alpha float64, files int64) *Dist {
 		cdf[i] /= sum
 	}
 	cdf[files-1] = 1 // guard against rounding
-	return &Dist{Alpha: alpha, F: files, cdf: cdf}
+	d := &Dist{Alpha: alpha, F: files, norm: sum, cdf: cdf}
+	d.buildGuide()
+	return d
+}
+
+// buildGuide precomputes the cutpoint table in one joint pass over the CDF
+// and the K+1 thresholds j/K, both nondecreasing.
+func (d *Dist) buildGuide() {
+	if d.F > math.MaxInt32-1 {
+		return
+	}
+	k := int(d.F)
+	guide := make([]int32, k+1)
+	kscale := float64(k)
+	j := 0
+	for i, c := range d.cdf {
+		for j <= k && c >= float64(j)/kscale {
+			guide[j] = int32(i)
+			j++
+		}
+	}
+	for ; j <= k; j++ {
+		guide[j] = int32(len(d.cdf) - 1)
+	}
+	d.guide = guide
+	d.kscale = kscale
 }
 
 // P returns the probability of the file with popularity rank i (1-based).
+// It is computed directly from the law, i^-alpha / norm: the adjacent-CDF
+// difference it replaces cancels catastrophically in the deep tail, where
+// both CDF values have rounded to within an ulp of 1.
 func (d *Dist) P(rank int64) float64 {
 	if rank < 1 || rank > d.F {
 		return 0
 	}
-	if rank == 1 {
-		return d.cdf[0]
-	}
-	return d.cdf[rank-1] - d.cdf[rank-2]
+	return math.Pow(float64(rank), -d.Alpha) / d.norm
 }
 
 // CDF returns P(rank <= n).
@@ -182,14 +217,51 @@ func (d *Dist) CDF(n int64) float64 {
 	return d.cdf[n-1]
 }
 
-// Sample draws a popularity rank in [1, F].
+// Sample draws a popularity rank in [1, F]. It consumes exactly one
+// uniform draw from rng and returns exactly the rank the binary-search
+// inversion returns for that draw (see locate), in O(1) expected time.
 func (d *Dist) Sample(rng *rand.Rand) int64 {
-	u := rng.Float64()
+	return int64(d.locate(rng.Float64()) + 1)
+}
+
+// locate returns the smallest index i with cdf[i] >= u — precisely the
+// value of sort.SearchFloat64s(cdf, u) for u in [0, 1). The guide table
+// bounds the answer from below: every index before guide[floor(u*K)] has
+// cdf < floor(u*K)/K <= u, so a forward scan from there finds the same
+// index the binary search would. The backward guard steps exist only for
+// the half-ulp case where floor(u*K)/K rounds up past u; they keep the
+// equivalence exact for every float64 input rather than almost every one.
+func (d *Dist) locate(u float64) int {
+	cdf := d.cdf
+	if d.guide == nil {
+		i := sort.SearchFloat64s(cdf, u)
+		if i >= len(cdf) {
+			i = len(cdf) - 1
+		}
+		return i
+	}
+	j := int(u * d.kscale)
+	if j >= len(d.guide) {
+		j = len(d.guide) - 1
+	}
+	i := int(d.guide[j])
+	for i > 0 && cdf[i-1] >= u {
+		i--
+	}
+	for cdf[i] < u {
+		i++
+	}
+	return i
+}
+
+// locateRef is the binary-search reference inversion, kept for the
+// differential test that pins Sample to it.
+func (d *Dist) locateRef(u float64) int {
 	i := sort.SearchFloat64s(d.cdf, u)
 	if i >= len(d.cdf) {
 		i = len(d.cdf) - 1
 	}
-	return int64(i + 1)
+	return i
 }
 
 // FitAlpha estimates the Zipf exponent of an observed popularity
