@@ -39,6 +39,7 @@ func main() {
 		in       = flag.String("in", "", "trace file (overrides -trace)")
 		scale    = flag.Float64("scale", 0.2, "request-count scale for generated traces")
 		nodes    = flag.Int("nodes", 16, "cluster size")
+		profSpec = flag.String("profiles", "", "per-node hardware, e.g. 4xfast:2.0/1.5/125000/64MB,12xslow:1.0/1.0/125000/32MB (count must match -nodes)")
 		memMB    = flag.Int64("mem", 32, "per-node memory in MB")
 		window   = flag.Int("window", 12, "outstanding connections per node")
 		warm     = flag.Float64("warm", 0.4, "warm-up fraction of the trace")
@@ -79,6 +80,15 @@ func main() {
 	}
 	fatalIf(err)
 
+	var profiles []server.NodeProfile
+	if *profSpec != "" {
+		profiles, err = server.ParseProfiles(*profSpec)
+		fatalIf(err)
+		if len(profiles) != *nodes {
+			fatalIf(fmt.Errorf("-profiles describes %d nodes, -nodes is %d", len(profiles), *nodes))
+		}
+	}
+
 	// Every policy is built by name through the registry; there is no
 	// per-system construction code here.
 	buildConfig := func(policyName string) server.Config {
@@ -89,6 +99,9 @@ func main() {
 			server.WithWarmFraction(*warm),
 			server.WithDNSTTL(*dnsTTL),
 			server.WithSeed(*seed),
+		}
+		if profiles != nil {
+			opts = append(opts, server.WithProfiles(profiles...))
 		}
 		if *failNode >= 0 {
 			opts = append(opts, server.WithFailure(*failNode, *failAt))

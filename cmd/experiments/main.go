@@ -35,7 +35,8 @@ import (
 func main() {
 	var (
 		scale    = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
-		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, latency)")
+		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency)")
+		profiles = flag.String("profiles", "", "per-node hardware spec, e.g. 4xfast:2.0/1.5/125000/64MB,12xslow:1.0/1.0/125000/32MB: run the weighted-policy comparison on that cluster, then exit")
 		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
 		chart    = flag.Bool("chart", false, "draw figures as ASCII charts too")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0: all cores, 1: sequential)")
@@ -66,6 +67,19 @@ func main() {
 		}
 	}
 	pool := opts.Pool()
+
+	if *profiles != "" {
+		specs, err := server.ParseProfiles(*profiles)
+		fatalIf(err)
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.ProfileStudy(pool, tr, specs)
+		fatalIf(err)
+		fmt.Println(text)
+		return
+	}
 
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
@@ -198,6 +212,26 @@ func main() {
 		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
 		fatalIf(err)
 		_, text, err := experiments.HeterogeneousStudy(pool, tr, 16, 0.5)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("twotier") {
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.TwoTierStudy(pool, tr, 16, 4)
+		fatalIf(err)
+		fmt.Println(text)
+	}
+
+	if want("slownode") {
+		spec, err := trace.PaperTrace("calgary")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.SlowNodeStudy(pool, tr, 16, 5, 0.5)
 		fatalIf(err)
 		fmt.Println(text)
 	}

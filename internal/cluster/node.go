@@ -25,24 +25,53 @@ type Node struct {
 	open     int // open connections being serviced (the load metric)
 	loadHist stats.TimeWeighted
 	eng      *sim.Engine
+	profile  Profile
 
 	failed bool
 }
 
-// NewNode builds a node with the given cache capacity in bytes.
+// NewNode builds a baseline node with the given cache capacity in bytes.
 func NewNode(eng *sim.Engine, id int, cacheBytes int64) *Node {
+	p := DefaultProfile()
+	p.CacheBytes = cacheBytes
+	return NewProfiledNode(eng, id, p)
+}
+
+// NewProfiledNode builds a node from a hardware profile. The profile's
+// CacheBytes must be resolved (positive or zero for an empty cache) by the
+// caller; speeds are normalized so the zero value means baseline.
+func NewProfiledNode(eng *sim.Engine, id int, p Profile) *Node {
+	if err := p.Validate(); err != nil {
+		panic(err.Error())
+	}
 	n := &Node{
-		ID:    id,
-		CPU:   sim.NewResource(eng, fmt.Sprintf("cpu%d", id), 1),
-		Disk:  sim.NewResource(eng, fmt.Sprintf("disk%d", id), 1),
-		NIIn:  sim.NewResource(eng, fmt.Sprintf("ni-in%d", id), 1),
-		NIOut: sim.NewResource(eng, fmt.Sprintf("ni-out%d", id), 1),
-		Cache: cache.NewLRU(cacheBytes),
-		eng:   eng,
+		ID:      id,
+		CPU:     sim.NewResource(eng, fmt.Sprintf("cpu%d", id), 1),
+		Disk:    sim.NewResource(eng, fmt.Sprintf("disk%d", id), 1),
+		NIIn:    sim.NewResource(eng, fmt.Sprintf("ni-in%d", id), 1),
+		NIOut:   sim.NewResource(eng, fmt.Sprintf("ni-out%d", id), 1),
+		Cache:   cache.NewLRU(p.CacheBytes),
+		eng:     eng,
+		profile: p.Normalized(),
 	}
 	n.loadHist.Set(0, 0)
 	return n
 }
+
+// Profile returns the node's normalized hardware profile.
+func (n *Node) Profile() Profile { return n.profile }
+
+// CPUTime scales a baseline CPU service time by the node's CPU speed.
+// Division by the baseline speed 1 is exact, so homogeneous runs are
+// bit-identical to the pre-profile simulator.
+func (n *Node) CPUTime(base float64) float64 { return base / n.profile.CPUSpeed }
+
+// DiskTime scales a baseline disk service time by the node's disk speed.
+func (n *Node) DiskTime(base float64) float64 { return base / n.profile.DiskSpeed }
+
+// LinkKBps returns the node's NI line rate, or 0 when it uses the cluster
+// network's default.
+func (n *Node) LinkKBps() float64 { return n.profile.LinkKBps }
 
 // Load returns the node's current number of open connections.
 func (n *Node) Load() int { return n.open }

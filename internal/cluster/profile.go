@@ -1,0 +1,63 @@
+package cluster
+
+import "fmt"
+
+// Profile describes one node's hardware relative to the Table 1 baseline.
+// The paper assumes "all cluster nodes are equally powerful"; a Profile
+// relaxes that per node and per resource, which is what real fleets —
+// mixed hardware generations, SSD tiers in front of disk tiers, one
+// underprovisioned straggler — look like.
+//
+// The zero value of every field selects the baseline: speeds of 0 (or the
+// explicit 1) mean "Table 1 rate", LinkKBps 0 means "the cluster network's
+// configured link rate", CacheBytes 0 means "the cluster-wide default".
+type Profile struct {
+	// CPUSpeed is the node's relative CPU speed: all CPU service times at
+	// the node divide by it. 0 or 1 is the baseline.
+	CPUSpeed float64
+	// DiskSpeed is the node's relative disk speed: all disk service times
+	// at the node divide by it. 0 or 1 is the baseline; an SSD tier is a
+	// large value here.
+	DiskSpeed float64
+	// LinkKBps is the node's network-interface line rate in KB/s. It
+	// bounds wire serialization of intra-cluster transfers touching the
+	// node and scales the size-dependent part of its NI service times.
+	// 0 selects the cluster network's configured link rate.
+	LinkKBps float64
+	// CacheBytes is the node's main-memory file cache. 0 selects the
+	// cluster-wide default.
+	CacheBytes int64
+}
+
+// DefaultProfile returns the explicit Table 1 baseline: unit speeds,
+// default link, default cache.
+func DefaultProfile() Profile { return Profile{CPUSpeed: 1, DiskSpeed: 1} }
+
+// Validate reports profile errors. Zero fields are legal (they select
+// defaults); negative ones are not.
+func (p Profile) Validate() error {
+	switch {
+	case p.CPUSpeed < 0:
+		return fmt.Errorf("cluster: negative CPU speed %v", p.CPUSpeed)
+	case p.DiskSpeed < 0:
+		return fmt.Errorf("cluster: negative disk speed %v", p.DiskSpeed)
+	case p.LinkKBps < 0:
+		return fmt.Errorf("cluster: negative link rate %v", p.LinkKBps)
+	case p.CacheBytes < 0:
+		return fmt.Errorf("cluster: negative cache size %d", p.CacheBytes)
+	}
+	return nil
+}
+
+// Normalized returns the profile with zero speed fields replaced by the
+// baseline 1. LinkKBps and CacheBytes stay 0 when defaulted — their
+// concrete values belong to the network and server configuration.
+func (p Profile) Normalized() Profile {
+	if p.CPUSpeed == 0 {
+		p.CPUSpeed = 1
+	}
+	if p.DiskSpeed == 0 {
+		p.DiskSpeed = 1
+	}
+	return p
+}

@@ -25,6 +25,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/fastmap"
 	"repro/internal/policy"
@@ -89,12 +90,38 @@ func init() {
 		}
 		return New(env, opts), nil
 	})
+	// l2s-weighted scales L2S's thresholds and selections by the per-node
+	// capacity weights the simulator derives from hardware profiles
+	// (Options.Weights); on a homogeneous cluster it is exactly l2s.
+	policy.Register("l2s-weighted", func(env policy.Env, popts policy.Options) (policy.Distributor, error) {
+		opts := DefaultOptions()
+		if popts.L2S != nil {
+			o, ok := popts.L2S.(Options)
+			if !ok {
+				return nil, fmt.Errorf("core: policy Options.L2S has type %T, want core.Options", popts.L2S)
+			}
+			if o != (Options{}) {
+				opts = o
+			}
+		}
+		if err := opts.Validate(); err != nil {
+			return nil, err
+		}
+		return NewWeighted(env, opts, popts.NodeWeights(env.N())), nil
+	})
 }
 
 // L2S implements policy.Distributor.
 type L2S struct {
 	env  policy.Env
 	opts Options
+
+	// weights holds per-node relative capacities for the l2s-weighted
+	// variant: loads are compared as load/weight, which makes the overload
+	// threshold effectively T*w_i per node, and set growth prefers nodes
+	// with spare weighted capacity. nil (plain L2S) behaves exactly as
+	// published: every comparison divides by exactly 1.0.
+	weights []float64
 
 	rr *policy.RoundRobin
 
@@ -150,8 +177,32 @@ func New(env policy.Env, opts Options) *L2S {
 	}
 }
 
+// NewWeighted builds L2S with capacity-weighted thresholds and server-set
+// selection. weights must have one entry per node, normalized to mean 1
+// (see policy.Options.Weights); nil degrades to plain L2S.
+func NewWeighted(env policy.Env, opts Options, weights []float64) *L2S {
+	l := New(env, opts)
+	if len(weights) == env.N() {
+		l.weights = weights
+	}
+	return l
+}
+
 // Name implements policy.Distributor.
-func (l *L2S) Name() string { return "l2s" }
+func (l *L2S) Name() string {
+	if l.weights != nil {
+		return "l2s-weighted"
+	}
+	return "l2s"
+}
+
+// weight returns node n's relative capacity (1 when unweighted).
+func (l *L2S) weight(n int) float64 {
+	if l.weights == nil {
+		return 1
+	}
+	return l.weights[n]
+}
 
 // FrontEnd implements policy.Distributor: L2S has none.
 func (l *L2S) FrontEnd() int { return -1 }
@@ -171,8 +222,11 @@ func (l *L2S) loadAs(observer, n int) int {
 // Service implements the L2S distribution algorithm, executed at the
 // initial node with the information visible there.
 func (l *L2S) Service(initial int, f policy.FileID) int {
-	view := func(n int) int { return l.loadAs(initial, n) }
-	overloaded := func(n int) bool { return view(n) > l.opts.T }
+	// Capacity-scaled load view: with nil weights this is the published
+	// algorithm (scaling by exactly 1.0); with weights the overload
+	// threshold is effectively T*w_i per node.
+	view := func(n int) float64 { return float64(l.loadAs(initial, n)) / l.weight(n) }
+	overloaded := func(n int) bool { return view(n) > float64(l.opts.T) }
 
 	set, _ := l.sets.Get(int32(f))
 	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
@@ -216,7 +270,7 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 
 	// Replication control: shrink a stable set whose chosen server is
 	// underloaded.
-	if len(set.nodes) > 1 && view(svc) < l.opts.LowT &&
+	if len(set.nodes) > 1 && view(svc) < float64(l.opts.LowT) &&
 		l.env.Now()-set.modified > l.opts.ShrinkAfter {
 		l.removeMostLoaded(set, svc, view)
 		set.modified = l.env.Now()
@@ -235,8 +289,9 @@ func (l *L2S) allDead(nodes []int) bool {
 	return true
 }
 
-func (l *L2S) argminAll(view func(int) int) int {
-	best, bestLoad := -1, int(^uint(0)>>1)
+func (l *L2S) argminAll(view func(int) float64) int {
+	best := -1
+	bestLoad := math.Inf(1)
 	for _, n := range l.all {
 		if !l.env.Alive(n) {
 			continue
@@ -248,8 +303,9 @@ func (l *L2S) argminAll(view func(int) int) int {
 	return best
 }
 
-func (l *L2S) leastLoadedMember(set *serverSet, view func(int) int) int {
-	best, bestLoad := -1, int(^uint(0)>>1)
+func (l *L2S) leastLoadedMember(set *serverSet, view func(int) float64) int {
+	best := -1
+	bestLoad := math.Inf(1)
 	for _, n := range set.nodes {
 		if !l.env.Alive(n) {
 			continue
@@ -264,8 +320,9 @@ func (l *L2S) leastLoadedMember(set *serverSet, view func(int) int) int {
 	return best
 }
 
-func (l *L2S) removeMostLoaded(set *serverSet, keep int, view func(int) int) {
-	worst, worstLoad, at := -1, -1, -1
+func (l *L2S) removeMostLoaded(set *serverSet, keep int, view func(int) float64) {
+	worst, at := -1, -1
+	worstLoad := math.Inf(-1)
 	for i, n := range set.nodes {
 		if n == keep {
 			continue

@@ -66,7 +66,7 @@ func TestArgminSkipsDeadNodes(t *testing.T) {
 	env.Loads = []int{1, 9, 9, 9}
 	env.Dead[0] = true // the least-loaded node is down
 	l := New(env, DefaultOptions())
-	if got := l.argminAll(func(n int) int { return env.Loads[n] }); got == 0 || got < 0 {
+	if got := l.argminAll(func(n int) float64 { return float64(env.Loads[n]) }); got == 0 || got < 0 {
 		t.Fatalf("argminAll = %d, want a live node", got)
 	}
 }
@@ -78,12 +78,12 @@ func TestLeastLoadedMemberFallsBackWhenAllDead(t *testing.T) {
 	env.Dead[2], env.Dead[3] = true, true
 	// With every member down there is no good answer; the contract is a
 	// deterministic fallback to the first member rather than a crash.
-	if got := l.leastLoadedMember(set, func(n int) int { return env.Loads[n] }); got != 2 {
+	if got := l.leastLoadedMember(set, func(n int) float64 { return float64(env.Loads[n]) }); got != 2 {
 		t.Fatalf("all-dead fallback = %d, want first member 2", got)
 	}
 	env.Dead[2] = false
 	env.Loads = []int{0, 0, 7, 1}
-	if got := l.leastLoadedMember(set, func(n int) int { return env.Loads[n] }); got != 2 {
+	if got := l.leastLoadedMember(set, func(n int) float64 { return float64(env.Loads[n]) }); got != 2 {
 		t.Fatalf("member pick = %d, want the only live member 2", got)
 	}
 }

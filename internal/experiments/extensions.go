@@ -236,11 +236,11 @@ func queuemodelParams(ch trace.Characteristics, nodes int, opts Options) queuemo
 // to the fast nodes — which is why both L2S and LARD degrade gracefully
 // while a speed-oblivious policy would track the slowest node.
 func HeterogeneousStudy(p *runner.Pool, tr *trace.Trace, nodes int, slowFactor float64) ([]PolicyRow, string, error) {
-	speeds := make([]float64, nodes)
-	for i := range speeds {
-		speeds[i] = 1
+	profiles := make([]server.NodeProfile, nodes)
+	for i := range profiles {
+		profiles[i] = server.NodeProfile{CPUSpeed: 1, DiskSpeed: 1}
 		if i >= nodes/2 {
-			speeds[i] = slowFactor
+			profiles[i].CPUSpeed = slowFactor
 		}
 	}
 	var names []string
@@ -250,7 +250,7 @@ func HeterogeneousStudy(p *runner.Pool, tr *trace.Trace, nodes int, slowFactor f
 			opts := []server.Option{}
 			name := sys.String() + "/homogeneous"
 			if het {
-				opts = append(opts, server.WithCPUSpeeds(speeds))
+				opts = append(opts, server.WithProfiles(profiles...))
 				name = fmt.Sprintf("%s/half at %.0f%%", sys, slowFactor*100)
 			}
 			names = append(names, name)
@@ -270,6 +270,154 @@ func HeterogeneousStudy(p *runner.Pool, tr *trace.Trace, nodes int, slowFactor f
 	fmt.Fprintf(&b, "  %-24s %10s %10s\n", "configuration", "req/s", "imbalance")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-24s %10.0f %10.2f\n", r.Policy, r.Throughput, r.Imbalance)
+	}
+	return rows, b.String(), nil
+}
+
+// TwoTierStudy models a common upgrade path the paper's homogeneity
+// assumption excludes: a small tier of fast machines with SSD-class disks
+// and extra memory in front of a larger tier of older disk-bound nodes.
+// Each paper policy runs next to its capacity-weighted variant on the same
+// tiered cluster, so the table isolates what speed-awareness in the
+// distribution decision is worth. The header reports the heterogeneous
+// model bound for the tiered hardware as the capacity yardstick.
+func TwoTierStudy(p *runner.Pool, tr *trace.Trace, nodes, fastNodes int) ([]PolicyRow, string, error) {
+	if fastNodes < 1 || fastNodes >= nodes {
+		return nil, "", fmt.Errorf("experiments: two-tier split %d of %d nodes", fastNodes, nodes)
+	}
+	fast := server.NodeProfile{CPUSpeed: 2, DiskSpeed: 8, CacheBytes: 64 << 20}
+	slow := server.NodeProfile{CPUSpeed: 1, DiskSpeed: 1, CacheBytes: 32 << 20}
+	profiles := make([]server.NodeProfile, nodes)
+	for i := range profiles {
+		if i < fastNodes {
+			profiles[i] = fast
+		} else {
+			profiles[i] = slow
+		}
+	}
+
+	rows, err := weightedPolicyRows(p, tr, "twotier", profiles)
+	if err != nil {
+		return nil, "", err
+	}
+
+	bound := profileBound(tr, profiles)
+	var b strings.Builder
+	fmt.Fprintf(&b, "two-tier cluster on %s: %d fast (2x cpu, 8x disk, 64 MB) + %d slow nodes\n",
+		tr.Name, fastNodes, nodes-fastNodes)
+	fmt.Fprintf(&b, "  model bound %.0f req/s (hit %.2f, bottleneck %v)\n",
+		bound.RequestsPerSec, bound.Hit, bound.Bottleneck)
+	b.WriteString(weightedPolicyTable(rows))
+	return rows, b.String(), nil
+}
+
+// ProfileStudy runs each paper policy next to its capacity-weighted
+// variant on caller-supplied hardware (the cmd/experiments -profiles
+// flag): the profile set fixes the cluster size.
+func ProfileStudy(p *runner.Pool, tr *trace.Trace, profiles []server.NodeProfile) ([]PolicyRow, string, error) {
+	if len(profiles) == 0 {
+		return nil, "", fmt.Errorf("experiments: profile study needs at least one node profile")
+	}
+	rows, err := weightedPolicyRows(p, tr, "profiles", profiles)
+	if err != nil {
+		return nil, "", err
+	}
+	bound := profileBound(tr, profiles)
+	var b strings.Builder
+	fmt.Fprintf(&b, "profiled cluster on %s, %d nodes\n", tr.Name, len(profiles))
+	fmt.Fprintf(&b, "  model bound %.0f req/s (hit %.2f, bottleneck %v)\n",
+		bound.RequestsPerSec, bound.Hit, bound.Bottleneck)
+	b.WriteString(weightedPolicyTable(rows))
+	return rows, b.String(), nil
+}
+
+// weightedPolicyRows runs the paper policies and their capacity-weighted
+// variants on one profiled cluster.
+func weightedPolicyRows(p *runner.Pool, tr *trace.Trace, prefix string, profiles []server.NodeProfile) ([]PolicyRow, error) {
+	policies := []string{"l2s", "l2s-weighted", "lard", "lard-weighted", "traditional", "wlc"}
+	jobs := make([]runner.Job, len(policies))
+	for i, name := range policies {
+		jobs[i] = runner.Job{
+			Key: prefix + "/" + name,
+			Config: server.NewConfig(server.CustomServer, len(profiles),
+				server.WithPolicy(name),
+				server.WithProfiles(profiles...)),
+			Trace: tr,
+		}
+	}
+	return runRows(p, jobs, func(i int, _ server.Result) string { return policies[i] })
+}
+
+// profileBound evaluates the heterogeneous locality-conscious model bound
+// for a profiled cluster on a characterized workload.
+func profileBound(tr *trace.Trace, profiles []server.NodeProfile) queuemodel.HeteroThroughput {
+	ch := trace.Characterize(tr)
+	params := queuemodel.DefaultParams()
+	params.Nodes = len(profiles)
+	params.AvgFileKB = ch.AvgReqKB
+	return params.HeterogeneousConsciousForCatalog(profiles, int64(ch.CatalogFiles))
+}
+
+func weightedPolicyTable(rows []PolicyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-16s %10s %8s %8s %10s\n", "policy", "req/s", "miss%", "fwd%", "imbalance")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-16s %10.0f %8.1f %8.1f %10.2f\n",
+			r.Policy, r.Throughput, r.MissRate*100, r.Forwarded*100, r.Imbalance)
+	}
+	return b.String()
+}
+
+// SlowNodeStudy measures how far one degraded machine drags a cluster: a
+// uniform baseline, the same cluster with node `slowNode` at the given
+// speed fraction, and — reusing the fault injector — the degraded node
+// crashing mid-run, which for a weighted policy should *recover* capacity
+// because the failover redistribution stops routing to the straggler.
+func SlowNodeStudy(p *runner.Pool, tr *trace.Trace, nodes, slowNode int, slowFactor float64) ([]PolicyRow, string, error) {
+	if slowNode < 0 || slowNode >= nodes {
+		return nil, "", fmt.Errorf("experiments: slow node %d of %d", slowNode, nodes)
+	}
+	profiles := make([]server.NodeProfile, nodes)
+	for i := range profiles {
+		profiles[i] = server.NodeProfile{CPUSpeed: 1, DiskSpeed: 1}
+	}
+	profiles[slowNode] = server.NodeProfile{CPUSpeed: slowFactor, DiskSpeed: slowFactor}
+
+	scenarios := []struct {
+		name string
+		opts []server.Option
+	}{
+		{"uniform", nil},
+		{"one slow node", []server.Option{server.WithProfiles(profiles...)}},
+		{"slow node crashes", []server.Option{
+			server.WithProfiles(profiles...),
+			server.WithFailure(slowNode, 0.5),
+		}},
+	}
+	var names []string
+	var jobs []runner.Job
+	for _, policy := range []string{"l2s", "l2s-weighted", "wlc"} {
+		for _, sc := range scenarios {
+			opts := append([]server.Option{server.WithPolicy(policy)}, sc.opts...)
+			names = append(names, policy+"/"+sc.name)
+			jobs = append(jobs, runner.Job{
+				Key:    "slownode/" + policy + "/" + sc.name,
+				Config: server.NewConfig(server.CustomServer, nodes, opts...),
+				Trace:  tr,
+			})
+		}
+	}
+	rows, err := runRows(p, jobs, func(i int, _ server.Result) string { return names[i] })
+	if err != nil {
+		return nil, "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow-node study on %s, %d nodes: node %d at %.0f%% speed\n",
+		tr.Name, nodes, slowNode, slowFactor*100)
+	fmt.Fprintf(&b, "  %-30s %10s %10s %8s\n", "configuration", "req/s", "imbalance", "fwd%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-30s %10.0f %10.2f %8.1f\n",
+			r.Policy, r.Throughput, r.Imbalance, r.Forwarded*100)
 	}
 	return rows, b.String(), nil
 }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestTwoTierStudy(t *testing.T) {
+	tr := fastTrace(t, "calgary", 0.05)
+	rows, text, err := TwoTierStudy(testPool(), tr, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	byName := map[string]PolicyRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	// Capacity weighting must not lose throughput on tiered hardware.
+	if w, u := byName["l2s-weighted"], byName["l2s"]; w.Throughput < u.Throughput*0.98 {
+		t.Errorf("l2s-weighted %v below l2s %v on a two-tier cluster", w.Throughput, u.Throughput)
+	}
+	if !strings.Contains(text, "model bound") || !strings.Contains(text, "two-tier") {
+		t.Errorf("render incomplete:\n%s", text)
+	}
+	if _, _, err := TwoTierStudy(testPool(), tr, 8, 8); err == nil {
+		t.Error("degenerate split accepted")
+	}
+}
+
+func TestSlowNodeStudy(t *testing.T) {
+	tr := fastTrace(t, "calgary", 0.05)
+	rows, text, err := SlowNodeStudy(testPool(), tr, 8, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("want 9 rows, got %d", len(rows))
+	}
+	byName := map[string]PolicyRow{}
+	for _, r := range rows {
+		byName[r.Policy] = r
+	}
+	// A slow node must not make the cluster faster than uniform hardware.
+	for _, policy := range []string{"l2s", "l2s-weighted", "wlc"} {
+		slow, uniform := byName[policy+"/one slow node"], byName[policy+"/uniform"]
+		if slow.Throughput > uniform.Throughput*1.02 {
+			t.Errorf("%s: slow-node cluster %v beats uniform %v", policy, slow.Throughput, uniform.Throughput)
+		}
+	}
+	if !strings.Contains(text, "slow-node study") {
+		t.Errorf("render incomplete:\n%s", text)
+	}
+	if _, _, err := SlowNodeStudy(testPool(), tr, 8, 8, 0.5); err == nil {
+		t.Error("out-of-range slow node accepted")
+	}
+}
+
+func TestProfileStudy(t *testing.T) {
+	tr := fastTrace(t, "calgary", 0.05)
+	profiles, err := server.ParseProfiles("2xfast:2/8//64MB,6xslow:1/1//32MB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, text, err := ProfileStudy(testPool(), tr, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("want 6 rows, got %d", len(rows))
+	}
+	if !strings.Contains(text, "profiled cluster") || !strings.Contains(text, "8 nodes") {
+		t.Errorf("render incomplete:\n%s", text)
+	}
+	if _, _, err := ProfileStudy(testPool(), tr, nil); err == nil {
+		t.Error("empty profile set accepted")
+	}
+}

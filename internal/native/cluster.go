@@ -10,20 +10,6 @@ import (
 	"time"
 )
 
-// ClusterConfig is the legacy two-struct cluster configuration.
-//
-// Deprecated: use Start with functional options (WithNodes, WithStore,
-// WithCacheMB, WithThresholds, ...). This type remains for one release so
-// existing call sites keep compiling.
-type ClusterConfig struct {
-	Nodes        int
-	Store        Store
-	CacheBytes   int64
-	Opts         Options
-	MissPenalty  time.Duration
-	ServePenalty time.Duration
-}
-
 // Cluster is a running set of native nodes.
 type Cluster struct {
 	cfg  clusterConfig
@@ -87,32 +73,6 @@ func Start(opts ...Option) (*Cluster, error) {
 		}(srv, c.listeners[i])
 	}
 	return c, nil
-}
-
-// StartCluster launches cfg.Nodes nodes on ephemeral loopback ports and
-// wires them together.
-//
-// Deprecated: use Start with functional options. This shim translates the
-// legacy config (zero values fall back to defaults, as before) and will be
-// removed next release.
-func StartCluster(cfg ClusterConfig) (*Cluster, error) {
-	opts := []Option{WithNodes(cfg.Nodes)}
-	if cfg.Store != nil {
-		opts = append(opts, WithStore(cfg.Store))
-	}
-	if cfg.CacheBytes > 0 {
-		opts = append(opts, WithCacheBytes(cfg.CacheBytes))
-	}
-	if cfg.Opts.T != 0 {
-		opts = append(opts, WithL2S(cfg.Opts))
-	}
-	if cfg.MissPenalty > 0 {
-		opts = append(opts, WithMissPenalty(cfg.MissPenalty))
-	}
-	if cfg.ServePenalty > 0 {
-		opts = append(opts, WithServePenalty(cfg.ServePenalty))
-	}
-	return Start(opts...)
 }
 
 // newNode builds node i from the cluster's resolved configuration.

@@ -261,10 +261,10 @@ func TestStatszEndpoint(t *testing.T) {
 }
 
 func TestClusterConfigValidation(t *testing.T) {
-	if _, err := StartCluster(ClusterConfig{Nodes: 0, Store: testStore(1)}); err == nil {
+	if _, err := Start(WithNodes(0), WithStore(testStore(1))); err == nil {
 		t.Fatal("zero nodes accepted")
 	}
-	if _, err := StartCluster(ClusterConfig{Nodes: 1}); err == nil {
+	if _, err := Start(WithNodes(1)); err == nil {
 		t.Fatal("nil store accepted")
 	}
 	if _, err := NewNode(Config{Store: testStore(1), Peers: nil}); err == nil {

@@ -1,8 +1,7 @@
 // Functional-option construction for the live cluster, mirroring the
 // simulator's server.NewConfig: native.Start(native.WithNodes(4),
-// native.WithStore(st), ...) replaces the old two-struct
-// ClusterConfig/Options duality. Options validate eagerly and Start
-// returns the first error instead of silently substituting defaults.
+// native.WithStore(st), ...). Options validate eagerly and Start returns
+// the first error instead of silently substituting defaults.
 package native
 
 import (

@@ -70,10 +70,10 @@ func TestStartFunctionalOptions(t *testing.T) {
 	}
 }
 
-// TestDeprecatedStartClusterShim keeps the legacy entry point honest: it
-// must still build a working cluster with defaults applied as before.
-func TestDeprecatedStartClusterShim(t *testing.T) {
-	c, err := StartCluster(ClusterConfig{Nodes: 2, Store: testStore(8)})
+// TestStartMinimalOptions keeps the minimal entry point honest: a cluster
+// built from just a size and a store must work with defaults applied.
+func TestStartMinimalOptions(t *testing.T) {
+	c, err := Start(WithNodes(2), WithStore(testStore(8)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -146,6 +146,30 @@ func (nw *Network) ControlKB() float64 { return nw.controlBytes }
 // count (nil detaches it).
 func (nw *Network) SetMetrics(messages *obs.Counter) { nw.mMessages = messages }
 
+// linkRate returns the serialization rate of a transfer between two nodes:
+// the configured link bandwidth, capped by either endpoint's NI line rate
+// when a node profile sets one (a transfer is no faster than its slowest
+// endpoint). With default profiles this is exactly cfg.LinkKBps, so
+// homogeneous runs are unchanged.
+func (nw *Network) linkRate(from, to *cluster.Node) float64 {
+	rate := nw.cfg.LinkKBps
+	if l := from.LinkKBps(); l > 0 && l < rate {
+		rate = l
+	}
+	if l := to.LinkKBps(); l > 0 && l < rate {
+		rate = l
+	}
+	return rate
+}
+
+// WireTime returns the wire latency of moving kb kilobytes between two
+// nodes: switch traversal plus serialization at the endpoints' effective
+// link rate. Bulk-data paths (distributed-file-system reads, back-end
+// forwarding) use this so per-node link speeds apply to them too.
+func (nw *Network) WireTime(from, to *cluster.Node, kb float64) float64 {
+	return nw.cfg.SwitchLatency + kb/nw.linkRate(from, to)
+}
+
 // RouterIn charges the router for an inbound transfer of kb kilobytes and
 // calls done when it has passed through.
 func (nw *Network) RouterIn(kb float64, done func()) {
@@ -170,7 +194,7 @@ func (nw *Network) Send(from, to *cluster.Node, kb float64, delivered func()) {
 	nw.mMessages.Inc()
 	m := nw.getMessage()
 	m.from, m.to = from, to
-	m.wire = nw.cfg.SwitchLatency + kb/nw.cfg.LinkKBps
+	m.wire = nw.WireTime(from, to, kb)
 	m.delivered = delivered
 	from.CPU.Acquire(nw.cfg.MsgCPU, m.afterFromCPU)
 }

@@ -44,6 +44,7 @@ func Benchmarks() []Bench {
 		{Name: "ZipfSample1M", Fn: ZipfSample1M},
 		{Name: "HistAdd", Fn: HistAdd},
 		{Name: "ServerRun", Fn: ServerRun, Requests: serverRunRequests},
+		{Name: "ServerRunHetero", Fn: ServerRunHetero, Requests: serverRunRequests},
 	}
 }
 
@@ -219,6 +220,25 @@ func ServerRun(b *testing.B) {
 	tr := serverRunTrace()
 	cfg := server.NewConfig(server.L2SServer, 8,
 		server.WithSeed(5), server.WithCacheBytes(2<<20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := server.Run(cfg, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ServerRunHetero is the profiled counterpart of ServerRun: the same trace
+// on a two-tier cluster, so the per-node rate scaling and capacity-weight
+// plumbing are on the measured path.
+func ServerRunHetero(b *testing.B) {
+	b.ReportAllocs()
+	tr := serverRunTrace()
+	fast := server.NodeProfile{CPUSpeed: 2, DiskSpeed: 8, CacheBytes: 4 << 20}
+	slow := server.NodeProfile{CPUSpeed: 1, DiskSpeed: 1, CacheBytes: 2 << 20}
+	cfg := server.NewConfig(server.L2SServer, 8,
+		server.WithSeed(5), server.WithCacheBytes(2<<20),
+		server.Tiered(fast, slow, 2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := server.Run(cfg, tr); err != nil {

@@ -54,6 +54,13 @@ type LARD struct {
 	feLoad   []int // front-end's view of each node's load
 	pending  []int // completions not yet reported to the front-end
 
+	// weights holds per-node relative capacities for the lard-weighted
+	// variant: loads are compared as load/weight and the imbalance
+	// thresholds scale to THigh*w_i / TLow*w_i, so a 2x node triggers
+	// migration at twice the load. nil (plain LARD) behaves exactly as
+	// published: every comparison divides by exactly 1.0.
+	weights []float64
+
 	sets     *fastmap.Map[*lardSet]
 	assigned uint64
 }
@@ -86,12 +93,34 @@ func NewLARD(env Env, opts LARDOptions) *LARD {
 	}
 }
 
+// NewWeightedLARD builds LARD with capacity-weighted load comparisons and
+// imbalance triggers. weights must have one entry per node, normalized to
+// mean 1 (see Options.Weights); nil degrades to plain LARD.
+func NewWeightedLARD(env Env, opts LARDOptions, weights []float64) *LARD {
+	l := NewLARD(env, opts)
+	if len(weights) == env.N() {
+		l.weights = weights
+	}
+	return l
+}
+
 // Name implements Distributor.
 func (l *LARD) Name() string {
+	if l.weights != nil {
+		return "lard-weighted"
+	}
 	if l.opts.Replication {
 		return "lard"
 	}
 	return "lard-basic"
+}
+
+// weight returns node n's relative capacity (1 when unweighted).
+func (l *LARD) weight(n int) float64 {
+	if l.weights == nil {
+		return 1
+	}
+	return l.weights[n]
 }
 
 // FrontEnd implements Distributor: node 0, unless the cluster has a single
@@ -118,10 +147,12 @@ func (l *LARD) Service(initial int, f FileID) int {
 	if l.env.N() == 1 {
 		return 0
 	}
-	view := func(n int) int { return l.feLoad[n] }
+	// Weighted comparisons: loads scale by 1/weight, thresholds stay
+	// nominal — equivalent to per-node thresholds THigh*w_i / TLow*w_i.
+	view := func(n int) float64 { return float64(l.feLoad[n]) / l.weight(n) }
 	set, _ := l.sets.Get(int32(f))
 	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
-		n := argmin(l.env, l.backends, view)
+		n := argminScaled(l.env, l.backends, view)
 		if n < 0 {
 			return initial // cluster effectively down
 		}
@@ -129,9 +160,9 @@ func (l *LARD) Service(initial int, f FileID) int {
 		return n
 	}
 	n := l.leastLoadedMember(set, view)
-	cheapest := argmin(l.env, l.backends, view)
-	overloaded := view(n) > l.opts.THigh && cheapest >= 0 && view(cheapest) < l.opts.TLow
-	if overloaded || view(n) >= 2*l.opts.THigh {
+	cheapest := argminScaled(l.env, l.backends, view)
+	overloaded := view(n) > float64(l.opts.THigh) && cheapest >= 0 && view(cheapest) < float64(l.opts.TLow)
+	if overloaded || view(n) >= float64(2*l.opts.THigh) {
 		if cheapest >= 0 && cheapest != n {
 			if l.opts.Replication {
 				set.nodes = append(set.nodes, cheapest)
@@ -159,15 +190,16 @@ func (l *LARD) allDead(nodes []int) bool {
 	return true
 }
 
-func (l *LARD) leastLoadedMember(set *lardSet, view func(int) int) int {
-	if n := argmin(l.env, set.nodes, view); n >= 0 {
+func (l *LARD) leastLoadedMember(set *lardSet, view func(int) float64) int {
+	if n := argminScaled(l.env, set.nodes, view); n >= 0 {
 		return n
 	}
 	return set.nodes[0]
 }
 
-func (l *LARD) removeMostLoaded(set *lardSet, keep int, view func(int) int) {
-	worst, worstLoad, at := -1, -1, -1
+func (l *LARD) removeMostLoaded(set *lardSet, keep int, view func(int) float64) {
+	worst, at := -1, -1
+	worstLoad := -1.0
 	for i, n := range set.nodes {
 		if n == keep {
 			continue

@@ -5,6 +5,8 @@
 package policy
 
 import (
+	"math"
+
 	"repro/internal/cache"
 )
 
@@ -81,11 +83,13 @@ type ClientAware interface {
 // SetNextClient implements ClientAware for CachedDNS.
 func (p *CachedDNS) SetNextClient(c int32) { p.NextClient = c }
 
-// argmin returns the index in candidates minimizing load(n), skipping dead
+// argminScaled returns the candidate minimizing load(n), skipping dead
 // nodes; ties break on the earlier candidate. It returns -1 if no candidate
-// is alive.
-func argmin(env Env, candidates []int, load func(int) int) int {
-	best, bestLoad := -1, int(^uint(0)>>1)
+// is alive. Weighted policies pass capacity-scaled loads; unweighted ones
+// pass plain loads converted to float64, which compares identically.
+func argminScaled(env Env, candidates []int, load func(int) float64) int {
+	best := -1
+	bestLoad := math.Inf(1)
 	for _, n := range candidates {
 		if !env.Alive(n) {
 			continue

@@ -31,6 +31,23 @@ type Options struct {
 	// from here); core's registration asserts the concrete type. nil
 	// selects core.DefaultOptions.
 	L2S any
+
+	// Weights gives each node's relative capacity, normalized to mean 1.
+	// The simulator fills it from the node hardware profiles; the weighted
+	// policies (wlc, lard-weighted, l2s-weighted) scale their thresholds
+	// and selections by it. nil means a homogeneous cluster, and makes
+	// every weighted policy behave exactly like its unweighted base.
+	Weights []float64
+}
+
+// NodeWeights returns o.Weights validated against the cluster size: nil
+// (or a wrong-sized slice, which cannot arise through server.Run) falls
+// back to nil, the uniform cluster.
+func (o Options) NodeWeights(n int) []float64 {
+	if len(o.Weights) != n {
+		return nil
+	}
+	return o.Weights
 }
 
 // lard returns the LARD options with the zero value replaced by the

@@ -1,0 +1,163 @@
+package queuemodel
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/zipf"
+)
+
+// Heterogeneous extension of the Section 3 model: per-node hardware
+// profiles (cluster.Profile) scale each node's service demands, the
+// cluster-wide saturation bound becomes the sum of per-node capacities
+// capped by the shared router, and the effective cache algebra generalizes
+// N*(1-R)*C + R*C to unequal memories. The extension is conformance-tested
+// against the product-form queueing model of van der Boor & Comte (see
+// productform.go): at saturation the product-form cluster throughput
+// converges to the heterogeneous bound.
+
+// NodeBound is one node's saturation capacity.
+type NodeBound struct {
+	Node           int
+	RequestsPerSec float64
+	Bottleneck     Center
+	Demands        Demands
+}
+
+// HeteroThroughput is the result of a heterogeneous bound computation.
+type HeteroThroughput struct {
+	RequestsPerSec float64
+	// Bottleneck is Router when the shared router binds; otherwise the
+	// bottleneck center of the slowest node.
+	Bottleneck Center
+	// BottleneckNode is the slowest node, or -1 when the router binds.
+	BottleneckNode int
+	PerNode        []NodeBound
+
+	Hit     float64 // cache hit rate used
+	Forward float64 // forwarded fraction used
+}
+
+// niKBps returns a profile's effective NI per-kilobyte rate: the Table 1
+// NI rate capped by the node's line rate. Rates above the baseline do not
+// accelerate past the Table 1 constants, mirroring the simulator.
+func (p Params) niKBps(prof cluster.Profile) float64 {
+	rate := p.NIOutKBps
+	if prof.LinkKBps > 0 && prof.LinkKBps < rate {
+		rate = prof.LinkKBps
+	}
+	return rate
+}
+
+// nodeDemands scales the homogeneous per-request demands by one node's
+// profile: CPU and disk demands divide by the node's relative speeds, and
+// the size-dependent part of the NI-out demand is serialized at the node's
+// line rate. The per-request NI-in constant and the shared router are
+// unscaled (the router is not node hardware).
+func (p Params) nodeDemands(prof cluster.Profile, hit, q float64) Demands {
+	prof = prof.Normalized()
+	s := p.AvgFileKB
+	ni := p.niKBps(prof)
+	niOut := func(sKB float64) float64 { return p.NIOutFixed + sKB/ni }
+	var d Demands
+	d.PerRequest[Router] = p.RouterTime(p.ReqKB + s)
+	d.PerRequest[NIIn] = (1 + q) * p.NIInTime()
+	d.PerRequest[CPU] = (p.ParseTime() + q*p.ForwardTime() + p.ReplyTime(s)) / prof.CPUSpeed
+	d.PerRequest[Disk] = (1 - hit) * p.DiskTime(s) / prof.DiskSpeed
+	d.PerRequest[NIOut] = niOut(s) + q*niOut(p.ReqKB)
+	return d
+}
+
+// NodeCapacities returns each node's saturation capacity — the request
+// rate at which its most-utilized local center reaches utilization 1 —
+// for the given hit rate and forwarded fraction.
+func (p Params) NodeCapacities(profiles []cluster.Profile, hit, q float64) []NodeBound {
+	out := make([]NodeBound, len(profiles))
+	for i, prof := range profiles {
+		d := p.nodeDemands(prof, hit, q)
+		best := math.Inf(1)
+		var bottleneck Center
+		for c := Center(0); c < numCenters; c++ {
+			if c == Router {
+				continue // shared, handled at the cluster level
+			}
+			demand := d.PerRequest[c]
+			if demand <= 0 {
+				continue
+			}
+			if capacity := 1 / demand; capacity < best {
+				best = capacity
+				bottleneck = c
+			}
+		}
+		out[i] = NodeBound{Node: i, RequestsPerSec: best, Bottleneck: bottleneck, Demands: d}
+	}
+	return out
+}
+
+// HeterogeneousBound computes the saturation throughput of a cluster whose
+// nodes have the given hardware profiles, assuming a distribution policy
+// that can load every node to its own capacity (the heterogeneous analogue
+// of the model's perfect-balance assumption): the sum of per-node
+// capacities, capped by the shared router. With uniform profiles it
+// reduces to Bound.
+func (p Params) HeterogeneousBound(profiles []cluster.Profile, hit, q float64) HeteroThroughput {
+	per := p.NodeCapacities(profiles, hit, q)
+	t := HeteroThroughput{PerNode: per, Hit: hit, Forward: q, BottleneckNode: -1}
+	var total float64
+	slowest := -1
+	for i, nb := range per {
+		total += nb.RequestsPerSec
+		if slowest < 0 || nb.RequestsPerSec < per[slowest].RequestsPerSec {
+			slowest = i
+		}
+	}
+	t.RequestsPerSec = total
+	if slowest >= 0 {
+		t.Bottleneck = per[slowest].Bottleneck
+		t.BottleneckNode = slowest
+	}
+	if rd := p.RouterTime(p.ReqKB + p.AvgFileKB); rd > 0 {
+		if routerCap := 1 / rd; routerCap < total {
+			t.RequestsPerSec = routerCap
+			t.Bottleneck = Router
+			t.BottleneckNode = -1
+		}
+	}
+	return t
+}
+
+// heteroCaches resolves per-node cache sizes (profile CacheBytes, with the
+// Params cache as the default) and returns their sum, minimum, and count.
+func (p Params) heteroCaches(profiles []cluster.Profile) (total, min float64) {
+	min = math.Inf(1)
+	for _, prof := range profiles {
+		c := float64(p.CacheBytes)
+		if prof.CacheBytes > 0 {
+			c = float64(prof.CacheBytes)
+		}
+		total += c
+		if c < min {
+			min = c
+		}
+	}
+	return total, min
+}
+
+// HeterogeneousConsciousForCatalog returns the locality-conscious
+// heterogeneous bound for a concrete catalog. The effective cache algebra
+// generalizes Section 3.1 to unequal memories: each node devotes an R
+// fraction of its own memory to the replicated set, which must fit the
+// smallest replicated partition, so
+//
+//	Clc = sum_i (1-R)*C_i + R*min_i C_i,   h = z(R*min_i C_i / S, f)
+//
+// (with uniform memories this is exactly N*(1-R)*C + R*C and h = z(RC/S, f)).
+func (p Params) HeterogeneousConsciousForCatalog(profiles []cluster.Profile, files int64) HeteroThroughput {
+	total, minC := p.heteroCaches(profiles)
+	clc := (1-p.Replication)*total + p.Replication*minC
+	hlc := zipf.Z(p.Alpha, p.cachedFiles(clc), files)
+	h := zipf.Z(p.Alpha, p.cachedFiles(p.Replication*minC), files)
+	q := float64(len(profiles)-1) * (1 - h) / float64(len(profiles))
+	return p.HeterogeneousBound(profiles, hlc, q)
+}

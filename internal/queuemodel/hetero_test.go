@@ -1,0 +1,150 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func uniformProfiles(n int) []cluster.Profile {
+	out := make([]cluster.Profile, n)
+	for i := range out {
+		out[i] = cluster.DefaultProfile()
+	}
+	return out
+}
+
+// TestHeterogeneousBoundReducesToBound: with uniform baseline profiles the
+// heterogeneous bound must reproduce the homogeneous Section 3 bound —
+// same throughput (to summation rounding) and same bottleneck — across
+// hit rates that exercise disk-, CPU-, and router-bound regimes.
+func TestHeterogeneousBoundReducesToBound(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 8.7
+	profiles := uniformProfiles(p.Nodes)
+	for _, tc := range []struct{ hit, q float64 }{
+		{0.3, 0}, {0.7, 0.1}, {0.97, 0.4}, {1.0, 0.9},
+	} {
+		want := p.Bound(tc.hit, tc.q)
+		got := p.HeterogeneousBound(profiles, tc.hit, tc.q)
+		if rel := math.Abs(got.RequestsPerSec-want.RequestsPerSec) / want.RequestsPerSec; rel > 1e-12 {
+			t.Errorf("hit %v q %v: hetero %v vs homogeneous %v (rel %v)",
+				tc.hit, tc.q, got.RequestsPerSec, want.RequestsPerSec, rel)
+		}
+		if got.Bottleneck != want.Bottleneck {
+			t.Errorf("hit %v q %v: bottleneck %v, want %v", tc.hit, tc.q, got.Bottleneck, want.Bottleneck)
+		}
+	}
+}
+
+// TestHeterogeneousBoundScalesWithSpeed: doubling every node's CPU and
+// disk speed doubles a non-router-bound cluster's capacity exactly.
+func TestHeterogeneousBoundScalesWithSpeed(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 6
+	p.Nodes = 4
+	p.RouterKBps = 1e12
+	base := p.HeterogeneousBound(uniformProfiles(4), 0.6, 0.2)
+	fast := make([]cluster.Profile, 4)
+	for i := range fast {
+		fast[i] = cluster.Profile{CPUSpeed: 2, DiskSpeed: 2, LinkKBps: 1e12}
+	}
+	got := p.HeterogeneousBound(fast, 0.6, 0.2)
+	// The NI-out fixed cost does not scale with link rate, so allow a hair
+	// of slack beyond exact doubling.
+	if rel := math.Abs(got.RequestsPerSec-2*base.RequestsPerSec) / (2 * base.RequestsPerSec); rel > 0.02 {
+		t.Errorf("2x cluster bound %v, want ~2x %v", got.RequestsPerSec, base.RequestsPerSec)
+	}
+	if got.RequestsPerSec <= base.RequestsPerSec {
+		t.Errorf("2x cluster no faster: %v vs %v", got.RequestsPerSec, base.RequestsPerSec)
+	}
+}
+
+// TestHeterogeneousBoundSlowNode: one half-speed node in an otherwise
+// uniform disk-bound cluster costs exactly half a node of capacity (the
+// bound sums per-node capacities — no convoy effect at the bound level)
+// and is reported as the bottleneck node.
+func TestHeterogeneousBoundSlowNode(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 6
+	p.Nodes = 8
+	profiles := uniformProfiles(8)
+	profiles[5] = cluster.Profile{CPUSpeed: 0.5, DiskSpeed: 0.5}
+	uniform := p.HeterogeneousBound(uniformProfiles(8), 0.5, 0.2)
+	got := p.HeterogeneousBound(profiles, 0.5, 0.2)
+	perNode := uniform.RequestsPerSec / 8
+	want := uniform.RequestsPerSec - perNode/2
+	if rel := math.Abs(got.RequestsPerSec-want) / want; rel > 1e-9 {
+		t.Errorf("slow-node bound %v, want %v", got.RequestsPerSec, want)
+	}
+	if got.BottleneckNode != 5 {
+		t.Errorf("bottleneck node %d, want the slow node 5", got.BottleneckNode)
+	}
+}
+
+// TestHeterogeneousBoundRouterCap: the shared router caps the sum of
+// per-node capacities no matter how fast the nodes are.
+func TestHeterogeneousBoundRouterCap(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 6
+	p.Nodes = 4
+	fast := make([]cluster.Profile, 4)
+	for i := range fast {
+		fast[i] = cluster.Profile{CPUSpeed: 100, DiskSpeed: 100}
+	}
+	got := p.HeterogeneousBound(fast, 1.0, 0)
+	routerCap := 1 / p.RouterTime(p.ReqKB+p.AvgFileKB)
+	if got.Bottleneck != Router || got.BottleneckNode != -1 {
+		t.Errorf("bottleneck = %v node %d, want router", got.Bottleneck, got.BottleneckNode)
+	}
+	if math.Abs(got.RequestsPerSec-routerCap) > 1e-9*routerCap {
+		t.Errorf("router-capped bound %v, want %v", got.RequestsPerSec, routerCap)
+	}
+}
+
+// TestHeterogeneousConsciousCacheAlgebra: with uniform memories the
+// generalized cache algebra must reproduce the homogeneous
+// locality-conscious bound; shrinking one node's memory can only lower
+// the hit rate (the replicated set shrinks to fit the smallest node).
+func TestHeterogeneousConsciousCacheAlgebra(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 6
+	p.Nodes = 8
+	p.Replication = 0.2
+	p.CacheBytes = 32 << 20
+	const files = 200000
+
+	want := p.ConsciousForCatalog(files)
+	got := p.HeterogeneousConsciousForCatalog(uniformProfiles(8), files)
+	if rel := math.Abs(got.RequestsPerSec-want.RequestsPerSec) / want.RequestsPerSec; rel > 1e-12 {
+		t.Errorf("uniform hetero conscious %v vs homogeneous %v", got.RequestsPerSec, want.RequestsPerSec)
+	}
+	if math.Abs(got.Hit-want.Hit) > 1e-12 {
+		t.Errorf("uniform hetero hit %v vs homogeneous %v", got.Hit, want.Hit)
+	}
+
+	mixed := uniformProfiles(8)
+	mixed[0] = cluster.Profile{CacheBytes: 8 << 20}
+	small := p.HeterogeneousConsciousForCatalog(mixed, files)
+	if small.Hit >= got.Hit {
+		t.Errorf("shrinking one cache did not lower the hit rate: %v >= %v", small.Hit, got.Hit)
+	}
+}
+
+// TestNodeCapacitiesLinkScaling: a node with a slower NI line rate gets a
+// proportionally slower size-dependent NI-out demand, and a rate above
+// the Table 1 baseline does not accelerate past it.
+func TestNodeCapacitiesLinkScaling(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 64 // big files so NI-out matters
+	slow := p.nodeDemands(cluster.Profile{LinkKBps: p.NIOutKBps / 2}, 1, 0)
+	base := p.nodeDemands(cluster.DefaultProfile(), 1, 0)
+	fast := p.nodeDemands(cluster.Profile{LinkKBps: 10 * p.NIOutKBps}, 1, 0)
+	if slow.PerRequest[NIOut] <= base.PerRequest[NIOut] {
+		t.Errorf("half-rate NI demand %v not above baseline %v", slow.PerRequest[NIOut], base.PerRequest[NIOut])
+	}
+	if fast.PerRequest[NIOut] != base.PerRequest[NIOut] {
+		t.Errorf("above-baseline link changed NI demand: %v vs %v", fast.PerRequest[NIOut], base.PerRequest[NIOut])
+	}
+}

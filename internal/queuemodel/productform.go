@@ -1,0 +1,200 @@
+package queuemodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Token-based product-form model of a heterogeneous cluster, after van der
+// Boor & Comte ("Load balancing in heterogeneous server clusters", arXiv
+// 2109.00868): N servers with service rates mu_i hold l_i job slots
+// ("tokens") each; jobs arrive Poisson(lambda) and seize one of the
+// currently available tokens uniformly at random — the randomized
+// token-based assignment a front-end with no load information can
+// implement — or are blocked when every token is taken. Server i works off
+// its queue at rate mu_i.
+//
+// The chain is reversible with stationary distribution
+//
+//	pi(x) ∝ prod_i [(lambda/mu_i)^x_i * l_i!/(l_i-x_i)!] * (L-|x|)!/L!
+//
+// (L = sum_i l_i), verified by detailed balance: the arrival rate into
+// server i from state x is lambda*(l_i-x_i)/(L-|x|), the departure rate is
+// mu_i, and pi(x+e_i)/pi(x) matches their ratio. The heterogeneous
+// saturation bound (hetero.go) is conformance-tested against this solver:
+// as lambda and the token counts grow, the product-form throughput
+// converges to sum_i mu_i, the bound's non-router value.
+
+// TokenCluster specifies one product-form model instance.
+type TokenCluster struct {
+	Lambda float64   // arrival rate (jobs/s)
+	Rates  []float64 // mu_i: per-server service rates
+	Tokens []int     // l_i: per-server token (slot) counts
+}
+
+// Validate reports model errors.
+func (c TokenCluster) Validate() error {
+	switch {
+	case c.Lambda <= 0:
+		return fmt.Errorf("queuemodel: token arrival rate must be positive, got %v", c.Lambda)
+	case len(c.Rates) == 0:
+		return fmt.Errorf("queuemodel: token cluster needs at least one server")
+	case len(c.Rates) != len(c.Tokens):
+		return fmt.Errorf("queuemodel: %d rates for %d token counts", len(c.Rates), len(c.Tokens))
+	}
+	for i, mu := range c.Rates {
+		if mu <= 0 {
+			return fmt.Errorf("queuemodel: server %d has non-positive rate %v", i, mu)
+		}
+		if c.Tokens[i] < 1 {
+			return fmt.Errorf("queuemodel: server %d has %d tokens, need >= 1", i, c.Tokens[i])
+		}
+	}
+	return nil
+}
+
+// TokenMetrics are the stationary quantities of a TokenCluster.
+type TokenMetrics struct {
+	Blocking   float64 // P(arrival finds no token) — by PASTA the loss rate
+	Throughput float64 // accepted = completed jobs/s: lambda*(1-Blocking)
+	MeanJobs   float64 // E[|x|]
+
+	PerServerBusy       []float64 // P(x_i >= 1): server utilization
+	PerServerThroughput []float64 // mu_i * PerServerBusy[i]
+}
+
+// Solve computes the stationary metrics exactly from the product form. All
+// arithmetic runs in log space: the per-server factors (lambda/mu)^k *
+// l!/(l-k)! and the token factor (L-m)!/L! overflow and underflow float64
+// long before realistic saturation regimes, but their logs stay small.
+// Cost is O(N * L^2) — exact convolution, no truncation.
+func (c TokenCluster) Solve() (TokenMetrics, error) {
+	if err := c.Validate(); err != nil {
+		return TokenMetrics{}, err
+	}
+	n := len(c.Rates)
+	total := 0
+	for _, l := range c.Tokens {
+		total += l
+	}
+
+	// logCoeffs[i][k] = log[(lambda/mu_i)^k * l_i!/(l_i-k)!].
+	logCoeffs := make([][]float64, n)
+	for i := range logCoeffs {
+		l := c.Tokens[i]
+		lc := make([]float64, l+1)
+		logRho := math.Log(c.Lambda / c.Rates[i])
+		for k := 1; k <= l; k++ {
+			lc[k] = lc[k-1] + logRho + math.Log(float64(l-k+1))
+		}
+		logCoeffs[i] = lc
+	}
+
+	// logTok[m] = log[(L-m)!/L!] = -sum_{j<m} log(L-j).
+	logTok := make([]float64, total+1)
+	for m := 1; m <= total; m++ {
+		logTok[m] = logTok[m-1] - math.Log(float64(total-m+1))
+	}
+
+	// logA[m] = log sum_{|x|=m} prod_i coeff_i(x_i), by convolution.
+	logA := []float64{0}
+	for _, lc := range logCoeffs {
+		logA = logConvolve(logA, lc)
+	}
+	logTerms := make([]float64, total+1)
+	for m := range logTerms {
+		logTerms[m] = logA[m] + logTok[m]
+	}
+	logG := logSumExp(logTerms)
+
+	met := TokenMetrics{
+		Blocking:            math.Exp(logTerms[total] - logG),
+		PerServerBusy:       make([]float64, n),
+		PerServerThroughput: make([]float64, n),
+	}
+	met.Throughput = c.Lambda * (1 - met.Blocking)
+
+	// E[|x|] = sum_m m * pi(|x|=m), via a shifted log-sum.
+	logMean := math.Inf(-1)
+	for m := 1; m <= total; m++ {
+		logMean = logAdd(logMean, math.Log(float64(m))+logTerms[m])
+	}
+	met.MeanJobs = math.Exp(logMean - logG)
+
+	// P(x_i = 0): the leave-one-out convolution carries the same token
+	// factor (the state still has |x| jobs among L tokens).
+	for i := range c.Rates {
+		logB := []float64{0}
+		for j, lc := range logCoeffs {
+			if j != i {
+				logB = logConvolve(logB, lc)
+			}
+		}
+		logZero := math.Inf(-1)
+		for m := range logB {
+			logZero = logAdd(logZero, logB[m]+logTok[m])
+		}
+		p0 := math.Exp(logZero - logG)
+		met.PerServerBusy[i] = 1 - p0
+		met.PerServerThroughput[i] = c.Rates[i] * met.PerServerBusy[i]
+	}
+	return met, nil
+}
+
+// logConvolve returns the log-space convolution of two log-coefficient
+// vectors: out[m] = log sum_k exp(a[k] + b[m-k]).
+func logConvolve(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for m := range out {
+		acc := math.Inf(-1)
+		lo := m - len(b) + 1
+		if lo < 0 {
+			lo = 0
+		}
+		for k := lo; k < len(a) && k <= m; k++ {
+			acc = logAdd(acc, a[k]+b[m-k])
+		}
+		out[m] = acc
+	}
+	return out
+}
+
+// logAdd returns log(exp(a) + exp(b)) without overflow.
+func logAdd(a, b float64) float64 {
+	if a < b {
+		a, b = b, a
+	}
+	if math.IsInf(a, -1) {
+		return a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// logSumExp folds logAdd over a slice.
+func logSumExp(xs []float64) float64 {
+	acc := math.Inf(-1)
+	for _, x := range xs {
+		acc = logAdd(acc, x)
+	}
+	return acc
+}
+
+// SaturatedTokenThroughput is the conformance bridge between the two
+// heterogeneous models: it builds a TokenCluster whose servers are the
+// profile-derived per-node capacities (NodeCapacities at the given hit
+// rate and forwarded fraction), drives it far into overload, and returns
+// its product-form throughput. As tokensPerServer and the overload factor
+// grow this converges to HeterogeneousBound's sum-of-capacities value,
+// which the conformance tests assert within tolerance.
+func (p Params) SaturatedTokenThroughput(bounds []NodeBound, tokensPerServer int, overload float64) (TokenMetrics, error) {
+	rates := make([]float64, len(bounds))
+	tokens := make([]int, len(bounds))
+	var sum float64
+	for i, nb := range bounds {
+		rates[i] = nb.RequestsPerSec
+		tokens[i] = tokensPerServer
+		sum += nb.RequestsPerSec
+	}
+	c := TokenCluster{Lambda: overload * sum, Rates: rates, Tokens: tokens}
+	return c.Solve()
+}

@@ -1,0 +1,216 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// solveCTMC computes the stationary distribution of a generator matrix by
+// Gaussian elimination on Q^T pi = 0 with the last balance equation
+// replaced by sum(pi) = 1.
+func solveCTMC(t *testing.T, q [][]float64) []float64 {
+	t.Helper()
+	n := len(q)
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			a[i][j] = q[j][i] // transpose: columns of Q are equations
+		}
+	}
+	for j := 0; j < n; j++ {
+		a[n-1][j] = 1
+	}
+	a[n-1][n] = 1
+	for col := 0; col < n; col++ {
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if a[col][col] == 0 {
+			t.Fatalf("singular CTMC system at column %d", col)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	pi := make([]float64, n)
+	for i := range pi {
+		pi[i] = a[i][n] / a[i][i]
+	}
+	return pi
+}
+
+// TestProductFormMatchesBruteForceCTMC checks the closed-form solver
+// against a direct stationary solve of the token chain's generator for a
+// small asymmetric cluster: 3 servers with rates (1, 2, 0.5), token counts
+// (3, 2, 2), lambda 1.7 — 36 states. Every reported metric must agree to
+// near machine precision.
+func TestProductFormMatchesBruteForceCTMC(t *testing.T) {
+	c := TokenCluster{Lambda: 1.7, Rates: []float64{1, 2, 0.5}, Tokens: []int{3, 2, 2}}
+	met, err := c.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enumerate states x = (x0, x1, x2) with x_i <= l_i in mixed radix.
+	dims := []int{c.Tokens[0] + 1, c.Tokens[1] + 1, c.Tokens[2] + 1}
+	nStates := dims[0] * dims[1] * dims[2]
+	idx := func(x []int) int { return (x[0]*dims[1]+x[1])*dims[2] + x[2] }
+	state := func(s int) []int {
+		return []int{s / (dims[1] * dims[2]), (s / dims[2]) % dims[1], s % dims[2]}
+	}
+	total := c.Tokens[0] + c.Tokens[1] + c.Tokens[2]
+
+	q := make([][]float64, nStates)
+	for s := range q {
+		q[s] = make([]float64, nStates)
+	}
+	for s := 0; s < nStates; s++ {
+		x := state(s)
+		jobs := x[0] + x[1] + x[2]
+		free := total - jobs
+		for i := 0; i < 3; i++ {
+			if avail := c.Tokens[i] - x[i]; avail > 0 && free > 0 {
+				// Arrival seizes one of server i's tokens with probability
+				// avail/free.
+				x[i]++
+				q[s][idx(x)] += c.Lambda * float64(avail) / float64(free)
+				x[i]--
+			}
+			if x[i] > 0 {
+				x[i]--
+				q[s][idx(x)] += c.Rates[i]
+				x[i]++
+			}
+		}
+		for d := 0; d < nStates; d++ {
+			if d != s {
+				q[s][s] -= q[s][d]
+			}
+		}
+	}
+	pi := solveCTMC(t, q)
+
+	var blocking, meanJobs float64
+	busy := make([]float64, 3)
+	for s := 0; s < nStates; s++ {
+		x := state(s)
+		jobs := x[0] + x[1] + x[2]
+		if jobs == total {
+			blocking += pi[s]
+		}
+		meanJobs += float64(jobs) * pi[s]
+		for i := 0; i < 3; i++ {
+			if x[i] > 0 {
+				busy[i] += pi[s]
+			}
+		}
+	}
+
+	const tol = 1e-10
+	if math.Abs(met.Blocking-blocking) > tol {
+		t.Errorf("Blocking = %.15f, CTMC %.15f", met.Blocking, blocking)
+	}
+	if math.Abs(met.MeanJobs-meanJobs) > tol {
+		t.Errorf("MeanJobs = %.15f, CTMC %.15f", met.MeanJobs, meanJobs)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(met.PerServerBusy[i]-busy[i]) > tol {
+			t.Errorf("PerServerBusy[%d] = %.15f, CTMC %.15f", i, met.PerServerBusy[i], busy[i])
+		}
+	}
+	if thr := c.Lambda * (1 - blocking); math.Abs(met.Throughput-thr) > tol {
+		t.Errorf("Throughput = %.15f, CTMC %.15f", met.Throughput, thr)
+	}
+}
+
+// TestProductFormFlowConservation checks the solver's internal
+// consistency: accepted flow lambda*(1-B) must equal the sum of
+// per-server completion rates mu_i*P(busy_i).
+func TestProductFormFlowConservation(t *testing.T) {
+	c := TokenCluster{
+		Lambda: 37.5,
+		Rates:  []float64{4, 9, 2.5, 13},
+		Tokens: []int{8, 12, 5, 20},
+	}
+	met, err := c.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, thr := range met.PerServerThroughput {
+		sum += thr
+	}
+	if rel := math.Abs(sum-met.Throughput) / met.Throughput; rel > 1e-9 {
+		t.Errorf("per-server throughput sums to %v, accepted flow %v (rel %v)", sum, met.Throughput, rel)
+	}
+	if met.Blocking <= 0 || met.Blocking >= 1 {
+		t.Errorf("Blocking = %v, want in (0,1) for an overloaded cluster", met.Blocking)
+	}
+}
+
+// TestHeterogeneousBoundConformsToProductForm is the acceptance check for
+// the heterogeneous solver: drive the van der Boor & Comte token model
+// with the profile-derived per-node capacities far into overload, and its
+// exact product-form throughput must converge to the heterogeneous
+// saturation bound (sum of per-node capacities) within 1%.
+func TestHeterogeneousBoundConformsToProductForm(t *testing.T) {
+	p := DefaultParams()
+	p.AvgFileKB = 6
+	p.RouterKBps = 1e12 // the token model has no router; uncap it
+	profiles := []cluster.Profile{
+		{CPUSpeed: 2, DiskSpeed: 4},
+		{CPUSpeed: 2, DiskSpeed: 4},
+		{CPUSpeed: 1, DiskSpeed: 1},
+		{CPUSpeed: 1, DiskSpeed: 1},
+		{CPUSpeed: 0.5, DiskSpeed: 0.5, LinkKBps: 64000},
+		{CPUSpeed: 1.5, DiskSpeed: 1, CacheBytes: 64 << 20},
+	}
+	p.Nodes = len(profiles)
+	for _, hit := range []float64{0.5, 0.9} {
+		bound := p.HeterogeneousBound(profiles, hit, 0.2)
+		met, err := p.SaturatedTokenThroughput(bound.PerNode, 80, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(met.Throughput-bound.RequestsPerSec) / bound.RequestsPerSec
+		if rel > 0.01 {
+			t.Errorf("hit %v: product-form throughput %v vs bound %v (rel %v)",
+				hit, met.Throughput, bound.RequestsPerSec, rel)
+		}
+		// Deep in overload every server must be essentially saturated.
+		for i, busy := range met.PerServerBusy {
+			if busy < 0.98 {
+				t.Errorf("hit %v: server %d busy %v, want ~1 at 20x overload", hit, i, busy)
+			}
+		}
+	}
+}
+
+// TestProductFormValidation exercises the error paths.
+func TestProductFormValidation(t *testing.T) {
+	bad := []TokenCluster{
+		{Lambda: 0, Rates: []float64{1}, Tokens: []int{1}},
+		{Lambda: 1},
+		{Lambda: 1, Rates: []float64{1, 2}, Tokens: []int{1}},
+		{Lambda: 1, Rates: []float64{-1}, Tokens: []int{1}},
+		{Lambda: 1, Rates: []float64{1}, Tokens: []int{0}},
+	}
+	for i, c := range bad {
+		if _, err := c.Solve(); err == nil {
+			t.Errorf("case %d: Solve accepted invalid cluster %+v", i, c)
+		}
+	}
+}

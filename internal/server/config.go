@@ -120,11 +120,19 @@ type Config struct {
 	ReqsPerConn float64 // mean requests per connection (default 7)
 	PersistSeed int64   // RNG seed for connection lengths
 
-	// CPUSpeeds, when non-nil, gives each node a relative CPU speed
-	// (1 = the Table 1 baseline); all CPU costs at node i divide by
-	// CPUSpeeds[i]. The paper assumes "all cluster nodes are equally
-	// powerful"; this knob explores mixed-generation clusters, where
-	// connection counting automatically steers work toward faster nodes.
+	// Profiles, when non-nil, gives each node a hardware profile — relative
+	// CPU and disk speeds, NI line rate, and cache size (see NodeProfile).
+	// The paper assumes "all cluster nodes are equally powerful"; profiles
+	// model mixed-generation and multi-tier clusters. A node's zero fields
+	// fall back to the baseline (speed 1, Net.LinkKBps, CacheBytes).
+	Profiles []NodeProfile
+
+	// CPUSpeeds, when non-nil, gives each node a relative CPU speed.
+	//
+	// Deprecated: use Profiles (WithProfiles). CPUSpeeds maps onto uniform
+	// profiles with only CPUSpeed set — bit-identical to its historical
+	// behavior (TestCPUSpeedsShimBitIdentical) — and cannot express
+	// disk/NIC/memory asymmetry. It is ignored when Profiles is also set.
 	CPUSpeeds []float64
 
 	// DistributedFS models the cluster's distributed file system
@@ -206,13 +214,23 @@ func (c Config) Validate() error {
 	case c.ArrivalRate < 0:
 		return fmt.Errorf("server: negative arrival rate %v", c.ArrivalRate)
 	}
-	if c.CPUSpeeds != nil {
+	if c.CPUSpeeds != nil && c.Profiles == nil {
 		if len(c.CPUSpeeds) != c.Nodes {
 			return fmt.Errorf("server: %d CPU speeds for %d nodes", len(c.CPUSpeeds), c.Nodes)
 		}
 		for i, s := range c.CPUSpeeds {
 			if s <= 0 {
 				return fmt.Errorf("server: node %d has non-positive CPU speed %v", i, s)
+			}
+		}
+	}
+	if c.Profiles != nil {
+		if len(c.Profiles) != c.Nodes {
+			return fmt.Errorf("server: %d profiles for %d nodes", len(c.Profiles), c.Nodes)
+		}
+		for i, p := range c.Profiles {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("server: node %d: %w", i, err)
 			}
 		}
 	}

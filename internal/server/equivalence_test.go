@@ -64,6 +64,80 @@ func equivalenceCases() map[string]Config {
 	return cases
 }
 
+// TestCPUSpeedsShimBitIdentical pins the deprecation contract of
+// Config.CPUSpeeds: the shim maps onto uniform-disk profiles with bit-for-
+// bit identical results, so callers can migrate to WithProfiles without a
+// golden change. Byte equality of the JSON is bit equality of the Result.
+func TestCPUSpeedsShimBitIdentical(t *testing.T) {
+	tr := equivalenceTrace()
+	speeds := []float64{1, 1, 0.5, 2}
+	legacy := NewConfig(L2SServer, 4,
+		WithSeed(19), WithCacheBytes(2<<20), WithCPUSpeeds(speeds))
+	profiles := make([]NodeProfile, len(speeds))
+	for i, s := range speeds {
+		profiles[i] = NodeProfile{CPUSpeed: s, DiskSpeed: 1}
+	}
+	modern := NewConfig(L2SServer, 4,
+		WithSeed(19), WithCacheBytes(2<<20), WithProfiles(profiles...))
+
+	a, err := Run(legacy, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(modern, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Errorf("CPUSpeeds shim diverged from WithProfiles\n legacy: %s\nmodern: %s", aj, bj)
+	}
+}
+
+// TestUniformProfilesMatchGolden proves the profile plumbing is a true
+// no-op at baseline hardware: every pre-heterogeneity golden case rerun
+// with explicit uniform NodeProfile{1, 1, default, default} profiles must
+// reproduce the committed golden bytes exactly. (Weighted policies are
+// excluded: uniform profiles legitimately switch them from their nil-
+// weight degraded mode to all-ones weights.)
+func TestUniformProfilesMatchGolden(t *testing.T) {
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read goldens: %v", err)
+	}
+	var want map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse goldens: %v", err)
+	}
+
+	tr := equivalenceTrace()
+	cases := equivalenceCases()
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		switch name {
+		case "policy/l2s-weighted", "policy/lard-weighted", "policy/wlc",
+			"mode/heterogeneous": // already profiled
+			continue
+		}
+		cfg := cases[name]
+		cfg.Profiles = UniformProfiles(cfg.Nodes, NodeProfile{CPUSpeed: 1, DiskSpeed: 1})
+		res, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		js, _ := json.Marshal(res)
+		if string(js) != string(want[name]) {
+			t.Errorf("%s: uniform profiles diverged from golden\n got: %s\nwant: %s",
+				name, js, want[name])
+		}
+	}
+}
+
 func TestRunEquivalenceGolden(t *testing.T) {
 	tr := equivalenceTrace()
 	cases := equivalenceCases()

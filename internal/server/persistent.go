@@ -156,12 +156,12 @@ func (d *driver) serveConnRequest(owner, first, count, i int, firstCall bool) {
 					// Data crosses the cluster network: sender NI-out and
 					// wire time scale with the file, receiver pays NI-in.
 					remote := d.nodes[svc]
-					remote.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
-						wire := d.cfg.Net.SwitchLatency + skb/d.cfg.Net.LinkKBps
+					remote.NIOut.Acquire(d.niOut(svc, skb), func() {
+						wire := d.net.WireTime(remote, node, skb)
 						d.eng.Schedule(wire, func() {
-							node.NIIn.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+							node.NIIn.Acquire(d.niOut(owner, skb), func() {
 								d.transmit(node, skb, func() {
-									node.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+									node.NIOut.Acquire(d.niOut(owner, skb), func() {
 										d.net.RouterOut(skb, next)
 									})
 								})
@@ -180,7 +180,7 @@ func (d *driver) serveLocallyOnConn(node nodeRef, f cache.FileID, skb float64, n
 	hit := node.Cache.Access(f, d.tr.Size(f))
 	finish := func() {
 		d.transmit(node, skb, func() {
-			node.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+			node.NIOut.Acquire(d.niOut(node.ID, skb), func() {
 				d.net.RouterOut(skb, next)
 			})
 		})

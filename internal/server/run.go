@@ -27,6 +27,12 @@ type driver struct {
 	// Precomputed per-operation costs.
 	niIn, parse, fwd float64
 
+	// Per-node hardware, nil for a homogeneous run: resolved profiles and
+	// each node's effective NI per-KB rate (Costs.NIOutKBps capped by the
+	// profile's line rate).
+	profiles  []cluster.Profile
+	niOutKBps []float64
+
 	next     int // next trace request to inject
 	inflight int
 	warmIdx  int
@@ -157,7 +163,7 @@ func (d *driver) getRequestJob() *requestJob {
 	}
 	j.afterTransmit = func() {
 		d := j.d
-		d.nodes[j.svc].NIOut.Acquire(d.cfg.Costs.NIOutTime(j.skb), j.afterNIOut)
+		d.nodes[j.svc].NIOut.Acquire(d.niOut(j.svc, j.skb), j.afterNIOut)
 	}
 	j.afterNIOut = func() {
 		j.d.net.RouterOut(j.skb, j.afterRouterOut)
@@ -265,15 +271,39 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 		d.connRNG = rand.New(rand.NewSource(cfg.PersistSeed + 1))
 	}
 	d.net = netsim.New(d.eng, cfg.Net)
+	d.profiles = cfg.resolvedProfiles()
 	d.nodes = make([]*cluster.Node, cfg.Nodes)
 	for i := range d.nodes {
-		d.nodes[i] = cluster.NewNode(d.eng, i, cfg.CacheBytes)
+		if d.profiles == nil {
+			d.nodes[i] = cluster.NewNode(d.eng, i, cfg.CacheBytes)
+			continue
+		}
+		p := d.profiles[i]
+		if p.CacheBytes == 0 {
+			p.CacheBytes = cfg.CacheBytes
+		}
+		d.nodes[i] = cluster.NewProfiledNode(d.eng, i, p)
+	}
+	if d.profiles != nil {
+		d.niOutKBps = make([]float64, cfg.Nodes)
+		for i, p := range d.profiles {
+			d.niOutKBps[i] = cfg.Costs.NIOutKBps
+			if p.LinkKBps > 0 && p.LinkKBps < d.niOutKBps[i] {
+				d.niOutKBps[i] = p.LinkKBps
+			}
+		}
 	}
 
+	popts := cfg.policyOptions()
+	if d.profiles != nil {
+		// Weighted policies scale their thresholds and selections by
+		// relative node capacity; unweighted ones ignore this.
+		popts.Weights = capacityWeights(d.profiles, cfg.Costs, tr)
+	}
 	if cfg.System == CustomServer && cfg.CustomPolicy != nil {
 		d.dist = cfg.CustomPolicy(d)
 	} else {
-		dist, err := policy.New(cfg.policyName(), d, cfg.policyOptions())
+		dist, err := policy.New(cfg.policyName(), d, popts)
 		if err != nil {
 			return Result{}, fmt.Errorf("server: %w", err)
 		}
@@ -420,23 +450,23 @@ func (d *driver) consultDispatcher(n0 int, decide func()) {
 func (d *driver) fetch(n int, f cache.FileID, skb float64, done func()) {
 	node := d.nodes[n]
 	if !d.cfg.DistributedFS {
-		node.Disk.Acquire(d.cfg.Costs.DiskTime(skb), done)
+		node.Disk.Acquire(d.disk(n, d.cfg.Costs.DiskTime(skb)), done)
 		return
 	}
 	home := fileHome(f, len(d.nodes))
 	if home == n || d.nodes[home].Failed() {
-		node.Disk.Acquire(d.cfg.Costs.DiskTime(skb), done)
+		node.Disk.Acquire(d.disk(n, d.cfg.Costs.DiskTime(skb)), done)
 		return
 	}
 	remote := d.nodes[home]
 	// Small read request to the home node, the disk read there, then the
 	// data crosses the cluster network (size-dependent NI and wire time).
 	d.net.Send(node, remote, d.cfg.Costs.ReqKB, func() {
-		remote.Disk.Acquire(d.cfg.Costs.DiskTime(skb), func() {
-			remote.NIOut.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
-				wire := d.cfg.Net.SwitchLatency + skb/d.cfg.Net.LinkKBps
+		remote.Disk.Acquire(d.disk(home, d.cfg.Costs.DiskTime(skb)), func() {
+			remote.NIOut.Acquire(d.niOut(home, skb), func() {
+				wire := d.net.WireTime(remote, node, skb)
 				d.eng.Schedule(wire, func() {
-					node.NIIn.Acquire(d.cfg.Costs.NIOutTime(skb), func() {
+					node.NIIn.Acquire(d.niOut(n, skb), func() {
 						node.CPU.Acquire(d.cfg.Net.MsgCPU, done)
 					})
 				})
@@ -445,12 +475,31 @@ func (d *driver) fetch(n int, f cache.FileID, skb float64, done func()) {
 	})
 }
 
-// cpu scales a CPU cost by node n's relative speed.
+// cpu scales a CPU cost by node n's relative speed. The nil fast path and
+// the exactness of division by 1.0 keep homogeneous runs bit-identical.
 func (d *driver) cpu(n int, base float64) float64 {
-	if d.cfg.CPUSpeeds == nil {
+	if d.profiles == nil {
 		return base
 	}
-	return base / d.cfg.CPUSpeeds[n]
+	return base / d.profiles[n].CPUSpeed
+}
+
+// disk scales a disk service time by node n's relative disk speed.
+func (d *driver) disk(n int, base float64) float64 {
+	if d.profiles == nil {
+		return base
+	}
+	return base / d.profiles[n].DiskSpeed
+}
+
+// niOut is the NI time to move a reply of skb kilobytes at node n's
+// effective line rate. With default profiles the expression is exactly
+// Costs.NIOutTime, so homogeneous runs are bit-identical.
+func (d *driver) niOut(n int, skb float64) float64 {
+	if d.niOutKBps == nil {
+		return d.cfg.Costs.NIOutTime(skb)
+	}
+	return d.cfg.Costs.NIOutFixed + skb/d.niOutKBps[n]
 }
 
 // fileHome spreads files over the cluster's disks (splitmix64 finalizer).
