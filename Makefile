@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json bench-check cover fuzz
+.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json bench-check bench-scale bench-scale-headline bench-scale-check cover fuzz
 
 all: build
 
@@ -22,15 +22,16 @@ vet:
 	$(GO) vet ./...
 
 # check is the tier-1 gate: formatting, static analysis, a full build, the
-# whole test suite, and the hot-path performance floor.
-check: fmt vet build test bench-check
+# whole test suite, the hot-path performance floor, and the N x F scaling
+# floor.
+check: fmt vet build test bench-check bench-scale-check
 
 # race exercises the deterministic sweep runner and the simulator under the
 # race detector — the parallel-equals-sequential guarantee is only as good
 # as its synchronization — plus the pooled simulation core and the live
 # native cluster (gossip, failure detection, hand-off retry).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/cache/... ./internal/runner/... ./internal/server/... ./internal/native/...
+	$(GO) test -race ./internal/sim/... ./internal/cache/... ./internal/netsim/... ./internal/runner/... ./internal/server/... ./internal/native/...
 
 # chaos runs the fault-injection tests (node kill mid-replay, seeded gossip
 # drop/delay/duplicate, crash recovery) under the race detector, twice.
@@ -57,6 +58,25 @@ bench-json:
 # more than 10% against the committed baseline.
 bench-check:
 	$(GO) run ./cmd/benchjson -compare BENCH_simcore.json
+
+# bench-scale regenerates the committed scaling baseline: full L2S cluster
+# runs over the N x F grid (N up to 1024, catalogs up to 10^7 files),
+# recording ns/request, peak heap bytes per node, and the deterministic
+# event/message counts. The flagship N=1024, F=10^7, 10^8-request point is
+# only rerun by bench-scale-headline (it takes ~20 minutes); plain
+# bench-scale carries the committed headline entry forward.
+bench-scale:
+	$(GO) run ./cmd/benchjson -scale BENCH_scale.json
+
+bench-scale-headline:
+	$(GO) run ./cmd/benchjson -scale BENCH_scale.json -headline
+
+# bench-scale-check reruns the grid (never the headline) and fails on a
+# >25% ns/request or bytes/node regression at any point — or on ANY change
+# in the deterministic event/message counts, which catches complexity
+# regressions wall-clock noise would hide.
+bench-scale-check:
+	$(GO) run ./cmd/benchjson -scale-compare BENCH_scale.json
 
 # cover enforces a per-package statement-coverage floor on the model and
 # infrastructure packages (commands are exercised end to end, not unit by

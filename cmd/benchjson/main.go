@@ -23,6 +23,22 @@
 // a JSON array with one labeled entry per recorded point (one per PR, by
 // convention), so the per-structure history accumulates next to the
 // flat baseline. An entry with the same label is replaced in place.
+//
+// Scaling trajectory:
+//
+//	benchjson -scale BENCH_scale.json [-headline]
+//	benchjson -scale-compare BENCH_scale.json [-scale-tolerance 0.25]
+//
+// -scale runs the N x F scaling grid (full L2S cluster runs, not
+// microbenchmarks) and writes one entry per point: ns/request,
+// peak heap bytes per node, wall seconds, and the deterministic event and
+// message counts. The flagship N=1024, F=10^7, 10^8-request point is only
+// rerun with -headline (it takes minutes); without it, a prior headline
+// entry in the file is carried over unchanged. -scale-compare reruns the
+// grid (never the headline) and fails on ns/request or bytes/node
+// regressions beyond the scale tolerance — and on ANY change in event or
+// message counts, which are deterministic and catch complexity regressions
+// that wall-clock noise hides.
 package main
 
 import (
@@ -58,7 +74,15 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression in -compare mode")
 	hotpath := flag.String("hotpath", "", "trajectory file to append this measurement to")
 	label := flag.String("label", "HEAD", "label of the trajectory entry written with -hotpath")
+	scale := flag.String("scale", "", "run the scaling grid and write it to this file instead of the micro suite")
+	scaleCompare := flag.String("scale-compare", "", "rerun the scaling grid and check it against this baseline (exit 1 on regression)")
+	headline := flag.Bool("headline", false, "with -scale, also rerun the 10^8-request headline point")
+	scaleTolerance := flag.Float64("scale-tolerance", 0.25, "allowed fractional regression in -scale-compare mode")
 	flag.Parse()
+
+	if *scale != "" || *scaleCompare != "" {
+		os.Exit(runScale(*scale, *scaleCompare, *headline, *scaleTolerance))
+	}
 
 	entries := make(map[string]Entry)
 	for _, bench := range perf.Benchmarks() {
@@ -91,6 +115,97 @@ func main() {
 	if *hotpath != "" {
 		appendTrajectory(*hotpath, *label, entries)
 	}
+}
+
+// runScale drives the scaling grid: write mode (path != "") measures every
+// point and writes the file; compare mode (comparePath != "") measures the
+// grid and checks it against the committed baseline. The headline point is
+// only ever measured in write mode with -headline; otherwise a prior entry
+// is preserved (write) or skipped (compare).
+func runScale(path, comparePath string, headline bool, tolerance float64) int {
+	prior := make(map[string]perf.ScaleResult)
+	priorPath := path
+	if comparePath != "" {
+		priorPath = comparePath
+	}
+	if buf, err := os.ReadFile(priorPath); err == nil {
+		if err := json.Unmarshal(buf, &prior); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", priorPath, err))
+		}
+	} else if comparePath != "" || !os.IsNotExist(err) {
+		fatal(err)
+	}
+
+	results := make(map[string]perf.ScaleResult)
+	status := 0
+	for _, p := range perf.ScaleGrid() {
+		if p.Headline && (!headline || comparePath != "") {
+			if old, ok := prior[p.Name]; ok && comparePath == "" {
+				results[p.Name] = old
+				fmt.Fprintf(os.Stderr, "bench-scale: %-26s carried over (rerun with -headline)\n", p.Name)
+			}
+			continue
+		}
+		if p.Headline {
+			// The grid traces are no longer needed and the headline
+			// trace alone is ~1 GB.
+			perf.DropScaleTraces()
+		}
+		res, err := perf.RunScalePoint(p)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p.Name, err))
+		}
+		results[p.Name] = res
+		fmt.Fprintf(os.Stderr, "bench-scale: %-26s %10.0f ns/req %12d B/node %8.2fs wall\n",
+			p.Name, res.NsPerRequest, res.BytesPerNode, res.WallSec)
+		if comparePath != "" {
+			status |= compareScalePoint(p.Name, res, prior, tolerance)
+		}
+	}
+	perf.DropScaleTraces()
+
+	if comparePath != "" {
+		if status != 0 {
+			fmt.Fprintf(os.Stderr, "bench-scale-check: FAILED (tolerance %.0f%%)\n", tolerance*100)
+		} else {
+			fmt.Fprintf(os.Stderr, "bench-scale-check: all grid points within %.0f%% of %s\n", tolerance*100, comparePath)
+		}
+		return status
+	}
+	writeJSON(path, results)
+	return 0
+}
+
+// compareScalePoint checks one measured grid point against the baseline:
+// ns/request and bytes/node within tolerance, event and message counts
+// exactly equal (they are deterministic for a given simulator version).
+func compareScalePoint(name string, cur perf.ScaleResult, baseline map[string]perf.ScaleResult, tolerance float64) int {
+	base, ok := baseline[name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s new (no baseline entry)\n", name)
+		return 0
+	}
+	status := 0
+	if base.Events != cur.Events || base.Messages != cur.Messages {
+		fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s DETERMINISM: events %d->%d messages %d->%d (regenerate with make bench-scale if intended)\n",
+			name, base.Events, cur.Events, base.Messages, cur.Messages)
+		status = 1
+	}
+	if base.NsPerRequest > 0 {
+		if ratio := cur.NsPerRequest / base.NsPerRequest; ratio > 1+tolerance {
+			fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s REGRESSION: %.0f vs %.0f ns/req (%+.1f%%)\n",
+				name, cur.NsPerRequest, base.NsPerRequest, (ratio-1)*100)
+			status = 1
+		}
+	}
+	if base.BytesPerNode > 0 {
+		if ratio := float64(cur.BytesPerNode) / float64(base.BytesPerNode); ratio > 1+tolerance {
+			fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s REGRESSION: %d vs %d B/node (%+.1f%%)\n",
+				name, cur.BytesPerNode, base.BytesPerNode, (ratio-1)*100)
+			status = 1
+		}
+	}
+	return status
 }
 
 // compareBaseline reports every benchmark whose ns/op regressed beyond the

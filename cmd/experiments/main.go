@@ -9,7 +9,8 @@
 //	experiments -scale 0.05     # quick pass
 //	experiments -only figure8   # one experiment
 //	experiments -csv            # machine-readable figures
-//	experiments -progress       # report each finished simulation on stderr
+//	experiments -progress       # report each finished simulation (and the
+//	                            # process heap high-water mark) on stderr
 //	experiments -series util.jsonl -trace trace.json   # instrumented run artifacts
 //
 // Simulations within an experiment run concurrently on a deterministic
@@ -22,7 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,7 +43,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
 		chart    = flag.Bool("chart", false, "draw figures as ASCII charts too")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0: all cores, 1: sequential)")
-		progress = flag.Bool("progress", false, "report each finished simulation on stderr")
+		progress = flag.Bool("progress", false, "report each finished simulation and the heap high-water mark on stderr")
 
 		seriesOut = flag.String("series", "", "write a time-series JSONL of an instrumented run to this file, then exit")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of an instrumented run to this file, then exit")
@@ -57,13 +60,24 @@ func main() {
 	opts.Scale = *scale
 	opts.Workers = *workers
 	if *progress {
+		var heapMu sync.Mutex
+		var heapHigh uint64
 		opts.Progress = func(p runner.Progress) {
 			status := "ok"
 			if p.Job.Err != nil {
 				status = "FAILED: " + p.Job.Err.Error()
 			}
-			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%v) %s\n",
-				p.Done, p.Total, p.Job.Key, p.Job.Elapsed.Round(time.Millisecond), status)
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			heapMu.Lock()
+			if ms.HeapAlloc > heapHigh {
+				heapHigh = ms.HeapAlloc
+			}
+			high := heapHigh
+			heapMu.Unlock()
+			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s (%v) heap %dMB (max %dMB) %s\n",
+				p.Done, p.Total, p.Job.Key, p.Job.Elapsed.Round(time.Millisecond),
+				ms.HeapAlloc>>20, high>>20, status)
 		}
 	}
 	pool := opts.Pool()

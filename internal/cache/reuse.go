@@ -32,11 +32,24 @@ type CurveBuilder struct {
 	cold      uint64  // measured accesses with no previous reference
 }
 
+// maxInitialPositions caps the position space allocated up front. Beyond
+// it, the builder relies on compaction (see grow): only the latest access
+// position per distinct file carries weight, so a stream of 10^8 requests
+// over 10^5 distinct files needs ~10^5 live positions, not 10^8. The cap is
+// 2^22 positions (32 MB of Fenwick tree) — large enough that realistic
+// catalogs never compact at all.
+const maxInitialPositions = 1 << 22
+
 // NewCurveBuilder sizes the builder for a stream of at most accesses
-// accesses (additional accesses grow the structure automatically).
+// accesses (additional accesses grow the structure automatically, and dead
+// positions are compacted away, so memory is O(distinct files) regardless
+// of stream length).
 func NewCurveBuilder(accesses int) *CurveBuilder {
 	if accesses < 16 {
 		accesses = 16
+	}
+	if accesses > maxInitialPositions {
+		accesses = maxInitialPositions
 	}
 	return &CurveBuilder{
 		bit:   make([]int64, accesses+1),
@@ -59,6 +72,13 @@ func (b *CurveBuilder) touch(id FileID, size int64, record bool) {
 	if size < 0 {
 		panic(fmt.Sprintf("cache: negative size %d for file %d", size, id))
 	}
+	// Make room for this access's position first: grow rebuilds the tree
+	// from the file table, and compaction renumbers the positions held
+	// there, so both must run while the two structures agree — before this
+	// access's old position is retired below.
+	if int(b.next)+1 >= len(b.bit) {
+		b.grow()
+	}
 	st, seen := b.files.Get(int32(id))
 	if record {
 		if !seen {
@@ -74,14 +94,23 @@ func (b *CurveBuilder) touch(id FileID, size int64, record bool) {
 		b.update(int(st.pos), -st.size)
 	}
 	b.next++
-	if int(b.next) >= len(b.bit) {
-		b.grow()
-	}
 	b.files.Put(int32(id), fileState{pos: b.next, size: size})
 	b.update(int(b.next), size)
 }
 
+// grow makes room for more access positions. A position is dead once its
+// file is re-accessed further up the stream; when at least half the
+// position space is dead, the live positions are renumbered 1..L in stream
+// order instead of doubling the tree. Renumbering preserves the relative
+// order and sizes of all live positions, and reuse distances are suffix
+// sums over exactly those, so every subsequent distance is bit-identical to
+// the unbounded tree's — while memory stays O(distinct files) no matter how
+// long the stream runs.
 func (b *CurveBuilder) grow() {
+	if 2*b.files.Len() <= len(b.bit)-1 {
+		b.compact()
+		return
+	}
 	b.bit = make([]int64, len(b.bit)*2)
 	// Rebuild from per-file positions (only live positions carry weight).
 	// The Fenwick updates are additive, so the table's iteration order
@@ -90,6 +119,33 @@ func (b *CurveBuilder) grow() {
 		b.update(int(st.pos), st.size)
 		return true
 	})
+}
+
+// liveEnt is compact's scratch record: one live (file, position, size).
+type liveEnt struct {
+	id   int32
+	pos  int32
+	size int64
+}
+
+// compact renumbers live positions 1..L in stream order and rebuilds the
+// tree in place.
+func (b *CurveBuilder) compact() {
+	ents := make([]liveEnt, 0, b.files.Len())
+	b.files.Range(func(id int32, st fileState) bool {
+		ents = append(ents, liveEnt{id: id, pos: st.pos, size: st.size})
+		return true
+	})
+	sort.Slice(ents, func(i, j int) bool { return ents[i].pos < ents[j].pos })
+	for i := range b.bit {
+		b.bit[i] = 0
+	}
+	for i, e := range ents {
+		pos := int32(i + 1)
+		b.files.Put(e.id, fileState{pos: pos, size: e.size})
+		b.update(int(pos), e.size)
+	}
+	b.next = int32(len(ents))
 }
 
 // update adds delta at position i (1-based Fenwick).

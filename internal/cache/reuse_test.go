@@ -149,3 +149,104 @@ func BenchmarkCurveBuilder(b *testing.B) {
 		cb.Curve()
 	}
 }
+
+// refCurveDistances is a quadratic reference Mattson implementation: reuse
+// distance of an access is the total size of distinct files touched since
+// the previous access to the same file, inclusive.
+func refCurveDistances(ids []FileID, sizes []int64) []int64 {
+	var out []int64
+	last := map[FileID]int{}
+	for i, id := range ids {
+		if p, ok := last[id]; ok {
+			seen := map[FileID]bool{}
+			var d int64
+			for j := p + 1; j < i; j++ {
+				if !seen[ids[j]] && ids[j] != id {
+					seen[ids[j]] = true
+					d += sizes[j]
+				}
+			}
+			out = append(out, d+sizes[p])
+		}
+		last[id] = i
+	}
+	return out
+}
+
+// TestReuseCompaction forces many compaction cycles — a tiny builder over a
+// long stream with few distinct files — and checks every recorded distance
+// against the quadratic reference. This pins the O(distinct files) memory
+// bound's exactness claim: renumbering live positions preserves all suffix
+// sums.
+func TestReuseCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const n = 6000
+	ids := make([]FileID, n)
+	sizes := make([]int64, n)
+	fileSize := map[FileID]int64{}
+	for i := range ids {
+		// Mixed skew: a hot set of 10 plus a long tail of 300, so prior
+		// positions span the whole window when compaction hits.
+		var id FileID
+		if rng.Intn(2) == 0 {
+			id = FileID(rng.Intn(10))
+		} else {
+			id = FileID(10 + rng.Intn(300))
+		}
+		if _, ok := fileSize[id]; !ok {
+			fileSize[id] = int64(rng.Intn(500) + 1)
+		}
+		ids[i] = id
+		sizes[i] = fileSize[id]
+	}
+	b := NewCurveBuilder(16) // far under-sized: compacts/doubles repeatedly
+	for i := range ids {
+		b.Add(ids[i], sizes[i])
+	}
+	want := refCurveDistances(ids, sizes)
+	if len(b.distances) != len(want) {
+		t.Fatalf("recorded %d distances, want %d", len(b.distances), len(want))
+	}
+	for i := range want {
+		if b.distances[i] != want[i] {
+			t.Fatalf("distance %d = %d, want %d", i, b.distances[i], want[i])
+		}
+	}
+	// The position space must have stayed bounded: 310 distinct files need
+	// at most ~1241 positions (compaction keeps live <= half the space),
+	// never the 6000 an unbounded tree would use.
+	if len(b.bit) >= n {
+		t.Fatalf("Fenwick tree grew to %d positions for %d distinct files", len(b.bit), len(fileSize))
+	}
+}
+
+// TestReuseGrowWithStaleEntry pins a regression: growing the tree during an
+// access to an already-seen file used to rebuild from the file table before
+// the current file's entry was updated, resurrecting its retired position's
+// weight and inflating later distances that spanned it.
+func TestReuseGrowWithStaleEntry(t *testing.T) {
+	// Builder capacity 17 (16 rounds up). Access files 0..13, then touch 5
+	// and 0 again so position 17 triggers growth mid-re-access.
+	b := NewCurveBuilder(16)
+	for i := 0; i < 14; i++ {
+		b.Add(FileID(i), 10)
+	}
+	b.Add(5, 10) // pos 15
+	b.Add(6, 10) // pos 16
+	b.Add(0, 10) // pos 17: grow fires during a re-access
+	b.Add(1, 10) // prev pos 2 — distance spans file 0's retired pos 1
+	ids := []FileID{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 5, 6, 0, 1}
+	sizes := make([]int64, len(ids))
+	for i := range sizes {
+		sizes[i] = 10
+	}
+	want := refCurveDistances(ids, sizes)
+	if len(b.distances) != len(want) {
+		t.Fatalf("recorded %d distances, want %d", len(b.distances), len(want))
+	}
+	for i := range want {
+		if b.distances[i] != want[i] {
+			t.Fatalf("distance %d = %d, want %d", i, b.distances[i], want[i])
+		}
+	}
+}

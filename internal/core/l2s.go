@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/fastmap"
 	"repro/internal/policy"
 )
 
@@ -88,7 +87,9 @@ func init() {
 		if err := opts.Validate(); err != nil {
 			return nil, err
 		}
-		return New(env, opts), nil
+		l := New(env, opts)
+		l.ReserveFiles(popts.Files)
+		return l, nil
 	})
 	// l2s-weighted scales L2S's thresholds and selections by the per-node
 	// capacity weights the simulator derives from hardware profiles
@@ -107,7 +108,9 @@ func init() {
 		if err := opts.Validate(); err != nil {
 			return nil, err
 		}
-		return NewWeighted(env, opts, popts.NodeWeights(env.N())), nil
+		l := NewWeighted(env, opts, popts.NodeWeights(env.N()))
+		l.ReserveFiles(popts.Files)
+		return l, nil
 	})
 }
 
@@ -132,7 +135,7 @@ type L2S struct {
 	lastSent []int
 	inFlight []bool
 
-	sets *fastmap.Map[*serverSet]
+	sets *policy.FileSets
 	all  []int
 
 	// Statistics.
@@ -141,14 +144,9 @@ type L2S struct {
 	grows, shrinks uint64
 }
 
-type serverSet struct {
-	nodes    []int
-	modified float64
-}
-
-func (s *serverSet) contains(n int) bool {
-	for _, v := range s.nodes {
-		if v == n {
+func contains(nodes []int32, n int) bool {
+	for _, v := range nodes {
+		if int(v) == n {
 			return true
 		}
 	}
@@ -172,10 +170,14 @@ func New(env policy.Env, opts Options) *L2S {
 		seen:     make([]int, n),
 		lastSent: make([]int, n),
 		inFlight: make([]bool, n),
-		sets:     fastmap.New[*serverSet](0),
+		sets:     policy.NewFileSets(0),
 		all:      all,
 	}
 }
+
+// ReserveFiles pre-sizes the per-file server-set index for n distinct
+// files, so catalog-scale runs skip its rehash-doublings.
+func (l *L2S) ReserveFiles(n int) { l.sets.Reserve(n) }
 
 // NewWeighted builds L2S with capacity-weighted thresholds and server-set
 // selection. weights must have one entry per node, normalized to mean 1
@@ -228,8 +230,9 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 	view := func(n int) float64 { return float64(l.loadAs(initial, n)) / l.weight(n) }
 	overloaded := func(n int) bool { return view(n) > float64(l.opts.T) }
 
-	set, _ := l.sets.Get(int32(f))
-	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
+	f32 := int32(f)
+	nodes := l.sets.Nodes(f32)
+	if len(nodes) == 0 || l.allDead(nodes) {
 		// First request for this file (or all its servers crashed): the
 		// initial node takes it unless it is overloaded, in which case the
 		// least-loaded node in the cluster does.
@@ -239,7 +242,7 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 				svc = m
 			}
 		}
-		l.sets.Put(int32(f), &serverSet{nodes: []int{svc}, modified: l.env.Now()})
+		l.sets.SetSingle(f32, svc, l.env.Now())
 		l.broadcastSetChange(initial)
 		l.grows++
 		return svc
@@ -247,19 +250,18 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 
 	var svc int
 	switch {
-	case set.contains(initial) && !overloaded(initial) && l.env.Alive(initial):
+	case contains(nodes, initial) && !overloaded(initial) && l.env.Alive(initial):
 		// Serve locally: the file is (believed) cached here and we have
 		// capacity.
 		svc = initial
 	default:
 		// Forward to the least-loaded member of the server set...
-		n := l.leastLoadedMember(set, view)
+		n := l.leastLoadedMember(nodes, view)
 		if overloaded(initial) && overloaded(n) {
 			// ... unless everyone relevant is overloaded: grow the set with
 			// the least-loaded node in the whole cluster.
-			if m := l.argminAll(view); m >= 0 && !set.contains(m) {
-				set.nodes = append(set.nodes, m)
-				set.modified = l.env.Now()
+			if m := l.argminAll(view); m >= 0 && !contains(nodes, m) {
+				l.sets.Append(f32, m, l.env.Now())
 				l.broadcastSetChange(initial)
 				l.grows++
 				n = m
@@ -269,20 +271,21 @@ func (l *L2S) Service(initial int, f policy.FileID) int {
 	}
 
 	// Replication control: shrink a stable set whose chosen server is
-	// underloaded.
-	if len(set.nodes) > 1 && view(svc) < float64(l.opts.LowT) &&
-		l.env.Now()-set.modified > l.opts.ShrinkAfter {
-		l.removeMostLoaded(set, svc, view)
-		set.modified = l.env.Now()
+	// underloaded. Re-read the set: growth above stamps the modification
+	// time, which defers shrinking exactly as before.
+	nodes = l.sets.Nodes(f32)
+	if len(nodes) > 1 && view(svc) < float64(l.opts.LowT) &&
+		l.env.Now()-l.sets.Modified(f32) > l.opts.ShrinkAfter {
+		l.removeMostLoaded(f32, nodes, svc, view)
 		l.broadcastSetChange(initial)
 		l.shrinks++
 	}
 	return svc
 }
 
-func (l *L2S) allDead(nodes []int) bool {
+func (l *L2S) allDead(nodes []int32) bool {
 	for _, n := range nodes {
-		if l.env.Alive(n) {
+		if l.env.Alive(int(n)) {
 			return false
 		}
 	}
@@ -303,36 +306,38 @@ func (l *L2S) argminAll(view func(int) float64) int {
 	return best
 }
 
-func (l *L2S) leastLoadedMember(set *serverSet, view func(int) float64) int {
+func (l *L2S) leastLoadedMember(nodes []int32, view func(int) float64) int {
 	best := -1
 	bestLoad := math.Inf(1)
-	for _, n := range set.nodes {
-		if !l.env.Alive(n) {
+	for _, n := range nodes {
+		if !l.env.Alive(int(n)) {
 			continue
 		}
-		if v := view(n); v < bestLoad {
-			best, bestLoad = n, v
+		if v := view(int(n)); v < bestLoad {
+			best, bestLoad = int(n), v
 		}
 	}
 	if best < 0 {
-		return set.nodes[0]
+		return int(nodes[0])
 	}
 	return best
 }
 
-func (l *L2S) removeMostLoaded(set *serverSet, keep int, view func(int) float64) {
+func (l *L2S) removeMostLoaded(f int32, nodes []int32, keep int, view func(int) float64) {
 	worst, at := -1, -1
 	worstLoad := math.Inf(-1)
-	for i, n := range set.nodes {
-		if n == keep {
+	for i, n := range nodes {
+		if int(n) == keep {
 			continue
 		}
-		if v := view(n); v > worstLoad {
-			worst, worstLoad, at = n, v, i
+		if v := view(int(n)); v > worstLoad {
+			worst, worstLoad, at = int(n), v, i
 		}
 	}
 	if worst >= 0 {
-		set.nodes = append(set.nodes[:at], set.nodes[at+1:]...)
+		l.sets.RemoveAt(f, at, l.env.Now())
+	} else {
+		l.sets.Touch(f, l.env.Now())
 	}
 }
 
@@ -389,9 +394,9 @@ type Stats struct {
 func (l *L2S) Stats() Stats {
 	sizes := make(map[int]int)
 	replicated := 0
-	l.sets.Range(func(_ int32, s *serverSet) bool {
-		sizes[len(s.nodes)]++
-		if len(s.nodes) > 1 {
+	l.sets.RangeSizes(func(_ int32, size int) bool {
+		sizes[size]++
+		if size > 1 {
 			replicated++
 		}
 		return true
@@ -412,12 +417,14 @@ func (l *L2S) Stats() Stats {
 
 // ServerSet returns a copy of the current server set for a file, for tests.
 func (l *L2S) ServerSet(f policy.FileID) []int {
-	s, _ := l.sets.Get(int32(f))
-	if s == nil {
+	nodes := l.sets.Nodes(int32(f))
+	if nodes == nil {
 		return nil
 	}
-	out := make([]int, len(s.nodes))
-	copy(out, s.nodes)
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = int(n)
+	}
 	return out
 }
 

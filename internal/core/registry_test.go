@@ -74,7 +74,7 @@ func TestArgminSkipsDeadNodes(t *testing.T) {
 func TestLeastLoadedMemberFallsBackWhenAllDead(t *testing.T) {
 	env := policytest.New(4)
 	l := New(env, DefaultOptions())
-	set := &serverSet{nodes: []int{2, 3}}
+	set := []int32{2, 3}
 	env.Dead[2], env.Dead[3] = true, true
 	// With every member down there is no good answer; the contract is a
 	// deterministic fallback to the first member rather than a crash.

@@ -39,6 +39,7 @@ type Map[V any] struct {
 	n     int
 	mask  uint32 // len(keys)-1; len is always a power of two
 	shift uint   // 64 - log2(len(keys)), for multiply-shift hashing
+	grows int    // rehash count, for Reserve tests and sizing diagnostics
 }
 
 // New returns a Map sized so that hint insertions do not trigger a grow.
@@ -81,6 +82,33 @@ func (m *Map[V]) home(k int32) uint32 {
 
 // Len returns the number of live entries.
 func (m *Map[V]) Len() int { return m.n }
+
+// Cap returns the number of insertions the table can absorb before the next
+// rehash (half the slot count, the grow threshold).
+func (m *Map[V]) Cap() int { return len(m.keys) / 2 }
+
+// Grows returns how many times the table has rehash-doubled since New (or
+// since the last Reserve large enough to rebuild it). A correctly pre-sized
+// table reports zero.
+func (m *Map[V]) Grows() int { return m.grows }
+
+// Reserve grows the table, if needed, so that it can hold n live entries
+// without any further rehash. Existing entries are preserved; lookups,
+// inserts, and deletes are strictly by key, so a Reserve can never change
+// any computation that consumes the map (only Range's unspecified iteration
+// order may differ). Reserving for a catalog-sized key set up front turns a
+// dozen rehash-doublings of a growing table into one allocation.
+func (m *Map[V]) Reserve(n int) {
+	capacity := len(m.keys)
+	for capacity < n*2 {
+		capacity *= 2
+	}
+	if capacity == len(m.keys) {
+		return
+	}
+	m.rehash(capacity)
+	m.grows = 0
+}
 
 // Get returns the value stored for k and whether it is present.
 func (m *Map[V]) Get(k int32) (V, bool) {
@@ -184,8 +212,16 @@ func (m *Map[V]) Range(fn func(k int32, v V) bool) {
 
 // grow doubles the table and reinserts every live entry.
 func (m *Map[V]) grow() {
+	m.grows++
+	m.rehash(len(m.keys) * 2)
+}
+
+// rehash rebuilds the table at the given power-of-two capacity.
+func (m *Map[V]) rehash(capacity int) {
 	oldKeys, oldVals := m.keys, m.vals
-	m.init(len(oldKeys) * 2)
+	n := m.n
+	m.init(capacity)
+	m.n = n
 	for i, k := range oldKeys {
 		if k == empty {
 			continue

@@ -1,0 +1,125 @@
+package fastmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestReserveZeroRehash pins the Reserve contract that makes F=10^7 catalogs
+// affordable: a table pre-sized for n insertions performs zero rehashes while
+// absorbing them, at any n the simulator uses (catalog indexes, server-set
+// tables, reuse trackers).
+func TestReserveZeroRehash(t *testing.T) {
+	for _, n := range []int{1, 100, 10_000, 1_000_000} {
+		m := New[int32](0)
+		m.Reserve(n)
+		for k := int32(0); k < int32(n); k++ {
+			m.Put(k, k)
+		}
+		if m.Grows() != 0 {
+			t.Fatalf("n=%d: %d rehashes after Reserve(%d)", n, m.Grows(), n)
+		}
+		if m.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, m.Len())
+		}
+	}
+}
+
+// TestReservePreservesEntries reserves over a live table and checks every
+// entry survives the rebuild, including after further churn.
+func TestReservePreservesEntries(t *testing.T) {
+	m := New[int64](0)
+	ref := make(map[int32]int64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5_000; i++ {
+		k := int32(rng.Intn(20_000))
+		m.Put(k, int64(k)*3)
+		ref[k] = int64(k) * 3
+	}
+	m.Reserve(200_000)
+	if m.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d after Reserve", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d)=(%v,%v) want %v after Reserve", k, got, ok, v)
+		}
+	}
+	// Shrinking or equal reserves are no-ops.
+	before := m.Cap()
+	m.Reserve(10)
+	if m.Cap() != before {
+		t.Fatalf("Reserve(10) shrank table: cap %d -> %d", before, m.Cap())
+	}
+	for i := 0; i < 150_000; i++ {
+		m.Put(int32(100_000+i), int64(i))
+	}
+	if m.Grows() != 0 {
+		t.Fatalf("%d rehashes filling a Reserve(200000) table to %d entries",
+			m.Grows(), m.Len())
+	}
+}
+
+// TestGrowDifferentialMillionKeys drives the grow path through ≥10^6 keys —
+// sixteen rehash-doublings from the minimum table — against the built-in map,
+// interleaving deletes so backward-shift compaction runs between grows.
+func TestGrowDifferentialMillionKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-key differential in -short mode")
+	}
+	const n = 1 << 20
+	m := New[int32](0)
+	ref := make(map[int32]int32, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		k := int32(rng.Intn(2 * n))
+		m.Put(k, k^0x5a5a)
+		ref[k] = k ^ 0x5a5a
+		if i%16 == 15 {
+			d := int32(rng.Intn(2 * n))
+			got := m.Delete(d)
+			_, want := ref[d]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d)=%v want %v", i, d, got, want)
+			}
+			delete(ref, d)
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len=%d want %d", m.Len(), len(ref))
+	}
+	if m.Grows() == 0 {
+		t.Fatal("grow path never exercised")
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d)=(%v,%v) want %v", k, got, ok, v)
+		}
+	}
+}
+
+// BenchmarkGrowMillionKeys measures building a million-key table from the
+// minimum size — every rehash-doubling included — which is what a catalog
+// index pays when it is not Reserved.
+func BenchmarkGrowMillionKeys(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New[int32](0)
+		for k := int32(0); k < 1_000_000; k++ {
+			m.Put(k, k)
+		}
+	}
+}
+
+// BenchmarkReserveMillionKeys is the same build after Reserve: the delta
+// against BenchmarkGrowMillionKeys is the cost of the rehash-doublings.
+func BenchmarkReserveMillionKeys(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := New[int32](0)
+		m.Reserve(1_000_000)
+		for k := int32(0); k < 1_000_000; k++ {
+			m.Put(k, k)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// batchedConfig returns the default constants with batching forced on for
+// every fan-out, so small clusters exercise the batched path in tests.
+func batchedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BatchFanout = 1
+	return cfg
+}
+
+// perPairConfig returns the default constants with batching disabled.
+func perPairConfig() Config {
+	cfg := DefaultConfig()
+	cfg.BatchFanout = 0
+	return cfg
+}
+
+// runBroadcast drives one quiet-network broadcast under the given config and
+// returns the network, nodes, and the delivered time.
+func runBroadcast(t *testing.T, cfg Config, n int, kb float64) (*Network, []*cluster.Node, float64) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := New(eng, cfg)
+	nodes := makeCluster(eng, n)
+	deliveredAt := -1.0
+	nw.Broadcast(nodes[0], nodes, kb, func() { deliveredAt = eng.Now() })
+	eng.Run()
+	if deliveredAt < 0 {
+		t.Fatal("broadcast never delivered")
+	}
+	return nw, nodes, deliveredAt
+}
+
+// TestBroadcastBatchedMatchesPerPair pins the exactness claim: on a quiet
+// network, the batched fan-out books the same delivered time, message count,
+// control bytes, and per-resource busy time as the per-pair event path, for
+// fan-outs on both sides of the default threshold.
+func TestBroadcastBatchedMatchesPerPair(t *testing.T) {
+	for _, n := range []int{2, 8, 33, 64, 200} {
+		for _, kb := range []float64{0.004, 1.5} {
+			nwP, nodesP, atP := runBroadcast(t, perPairConfig(), n, kb)
+			nwB, nodesB, atB := runBroadcast(t, batchedConfig(), n, kb)
+			if math.Abs(atP-atB) > 1e-12 {
+				t.Fatalf("n=%d kb=%v: delivered per-pair %v, batched %v", n, kb, atP, atB)
+			}
+			if nwP.Messages() != nwB.Messages() || nwP.Messages() != uint64(n-1) {
+				t.Fatalf("n=%d: messages per-pair %d, batched %d, want %d",
+					n, nwP.Messages(), nwB.Messages(), n-1)
+			}
+			if math.Abs(nwP.ControlKB()-nwB.ControlKB()) > 1e-12 {
+				t.Fatalf("n=%d: control KB per-pair %v, batched %v", n, nwP.ControlKB(), nwB.ControlKB())
+			}
+			for i := range nodesP {
+				for _, pair := range [][2]*sim.Resource{
+					{nodesP[i].CPU, nodesB[i].CPU},
+					{nodesP[i].NIOut, nodesB[i].NIOut},
+					{nodesP[i].NIIn, nodesB[i].NIIn},
+				} {
+					if math.Abs(pair[0].BusyTime()-pair[1].BusyTime()) > 1e-12 {
+						t.Fatalf("n=%d node %d %s: busy per-pair %v, batched %v",
+							n, i, pair[0].Name(), pair[0].BusyTime(), pair[1].BusyTime())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastBatchedHonorsNodeLinkRates pins that the batched path charges
+// per-endpoint wire time: a receiver with a slow NI line rate delays the
+// whole broadcast exactly as it does on the per-pair path.
+func TestBroadcastBatchedHonorsNodeLinkRates(t *testing.T) {
+	build := func(cfg Config) (float64, float64) {
+		eng := sim.NewEngine()
+		nw := New(eng, cfg)
+		nodes := make([]*cluster.Node, 40)
+		for i := range nodes {
+			p := cluster.DefaultProfile()
+			if i == 17 {
+				p.LinkKBps = 1000 // 128x slower than the cluster link
+			}
+			nodes[i] = cluster.NewProfiledNode(eng, i, p)
+		}
+		deliveredAt := -1.0
+		nw.Broadcast(nodes[0], nodes, 2.0, func() { deliveredAt = eng.Now() })
+		eng.Run()
+		return deliveredAt, nodes[17].NIIn.BusyTime()
+	}
+	atP, slowBusyP := build(perPairConfig())
+	atB, slowBusyB := build(batchedConfig())
+	if math.Abs(atP-atB) > 1e-12 {
+		t.Fatalf("delivered per-pair %v, batched %v", atP, atB)
+	}
+	if math.Abs(slowBusyP-slowBusyB) > 1e-12 {
+		t.Fatalf("slow-node NI busy per-pair %v, batched %v", slowBusyP, slowBusyB)
+	}
+	// The slow link must actually dominate: 2 KB at 1000 KB/s is 2 ms.
+	if atB < 2e-3 {
+		t.Fatalf("delivered %v, want >= 2ms (slow receiver's serialization)", atB)
+	}
+}
+
+// TestBroadcastBatchedSkipsFailedNodes pins that dead receivers cost
+// nothing: no messages, no control bytes, no resource charges.
+func TestBroadcastBatchedSkipsFailedNodes(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, batchedConfig())
+	nodes := makeCluster(eng, 50)
+	for i := 10; i < 20; i++ {
+		nodes[i].Fail()
+	}
+	delivered := 0
+	nw.Broadcast(nodes[0], nodes, 0.004, func() { delivered++ })
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d times, want 1", delivered)
+	}
+	if nw.Messages() != 39 {
+		t.Fatalf("Messages = %d, want 39 (49 others minus 10 failed)", nw.Messages())
+	}
+	for i := 10; i < 20; i++ {
+		if nodes[i].NIIn.BusyTime() != 0 || nodes[i].CPU.BusyTime() != 0 {
+			t.Fatalf("failed node %d was charged", i)
+		}
+	}
+}
+
+// TestBroadcastBatchedDeliveredOrdering pins callback ordering across
+// overlapping broadcasts: completions fire in simulated-time order, and each
+// delivered callback runs after every receiver-side charge of its own
+// broadcast is booked (the delivered time equals the latest receiver CPU
+// finish).
+func TestBroadcastBatchedDeliveredOrdering(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, batchedConfig())
+	nodes := makeCluster(eng, 65)
+	var order []int
+	// Three broadcasts with distinct start times and fan-outs. Later start
+	// plus smaller fan-out finishes before an earlier giant fan-out would
+	// if ordering were FIFO by submission.
+	eng.At(0, func() { nw.Broadcast(nodes[0], nodes, 0.5, func() { order = append(order, 0) }) })
+	eng.At(1e-6, func() { nw.Broadcast(nodes[1], nodes[:3], 0.004, func() { order = append(order, 1) }) })
+	eng.At(2e-6, func() { nw.Broadcast(nodes[2], nodes[:5], 0.004, func() { order = append(order, 2) }) })
+	eng.Run()
+	want := []int{1, 2, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestBroadcastBatchedEventEconomy pins the point of the tentpole: a
+// batched broadcast adds at most one calendar event (zero with a nil
+// delivered callback), where the per-pair path fires five per receiver.
+func TestBroadcastBatchedEventEconomy(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, batchedConfig())
+	nodes := makeCluster(eng, 1024)
+	nw.Broadcast(nodes[0], nodes, 0.004, nil)
+	eng.Run()
+	if eng.Fired() != 0 {
+		t.Fatalf("nil-delivered batched broadcast fired %d events, want 0", eng.Fired())
+	}
+	if nw.Messages() != 1023 {
+		t.Fatalf("Messages = %d, want 1023", nw.Messages())
+	}
+
+	eng2 := sim.NewEngine()
+	nw2 := New(eng2, batchedConfig())
+	nodes2 := makeCluster(eng2, 1024)
+	nw2.Broadcast(nodes2[0], nodes2, 0.004, func() {})
+	eng2.Run()
+	if eng2.Fired() != 1 {
+		t.Fatalf("batched broadcast fired %d events, want 1", eng2.Fired())
+	}
+
+	eng3 := sim.NewEngine()
+	nw3 := New(eng3, perPairConfig())
+	nodes3 := makeCluster(eng3, 1024)
+	nw3.Broadcast(nodes3[0], nodes3, 0.004, func() {})
+	eng3.Run()
+	if eng3.Fired() != 5*1023 {
+		t.Fatalf("per-pair broadcast fired %d events, want %d", eng3.Fired(), 5*1023)
+	}
+}
+
+// TestBroadcastStorm1024 runs a broadcast storm at full target scale — every
+// 16th node of a 1024-node cluster broadcasting to the whole cluster in
+// overlapping waves — and checks conservation: every broadcast delivers
+// exactly once and the message count is exact. `make race` runs this under
+// the race detector.
+func TestBroadcastStorm1024(t *testing.T) {
+	const n = 1024
+	const senders = 64
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, n)
+	delivered := 0
+	for i := 0; i < senders; i++ {
+		s := nodes[i*16]
+		eng.At(float64(i)*1e-7, func() {
+			nw.Broadcast(s, nodes, 0.004, func() { delivered++ })
+		})
+	}
+	eng.Run()
+	if delivered != senders {
+		t.Fatalf("delivered %d broadcasts, want %d", delivered, senders)
+	}
+	if want := uint64(senders * (n - 1)); nw.Messages() != want {
+		t.Fatalf("Messages = %d, want %d", nw.Messages(), want)
+	}
+	// Sender 0's CPU paid MsgCPU per copy of its own fan-out plus MsgCPU
+	// for each of the other senders' copies it received.
+	wantBusy := float64(n-1)*3e-6 + float64(senders-1)*3e-6
+	if got := nodes[0].CPU.BusyTime(); math.Abs(got-wantBusy) > 1e-9 {
+		t.Fatalf("sender 0 CPU busy = %v, want %v", got, wantBusy)
+	}
+}

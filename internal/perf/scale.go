@@ -1,0 +1,184 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// ScalePoint is one point of the scaling trajectory: a full L2S cluster run
+// at a given cluster size and catalog size. Unlike the microbenchmarks,
+// these measure how cost grows with N and F — the superlinear regressions
+// (per-pair broadcast storms, rehash-doubling indexes, unbounded trackers)
+// that ns/op at a fixed small N can never catch.
+type ScalePoint struct {
+	Name     string
+	Nodes    int
+	Files    int
+	Requests int
+	// Headline marks the flagship N=1024, F=10^7, 10^8-request run: it is
+	// regenerated only on demand and skipped by comparisons, because it
+	// takes minutes where the grid takes seconds.
+	Headline bool
+}
+
+// scaleGridRequests is the trace length of every grid point: long enough
+// that steady state dominates setup, short enough that the whole grid runs
+// in `make check`.
+const scaleGridRequests = 300_000
+
+// headlineRequests is the flagship run's trace length.
+const headlineRequests = 100_000_000
+
+// ScaleGrid returns the N x F grid in a stable order, headline last.
+func ScaleGrid() []ScalePoint {
+	var pts []ScalePoint
+	for _, n := range []int{16, 128, 1024} {
+		for _, f := range []int{10_000, 1_000_000, 10_000_000} {
+			pts = append(pts, ScalePoint{
+				Name:     fmt.Sprintf("N%d-F%s", n, suffix(f)),
+				Nodes:    n,
+				Files:    f,
+				Requests: scaleGridRequests,
+			})
+		}
+	}
+	pts = append(pts, ScalePoint{
+		Name:     "headline-N1024-F1e7-R1e8",
+		Nodes:    1024,
+		Files:    10_000_000,
+		Requests: headlineRequests,
+		Headline: true,
+	})
+	return pts
+}
+
+func suffix(f int) string {
+	switch f {
+	case 10_000:
+		return "1e4"
+	case 1_000_000:
+		return "1e6"
+	case 10_000_000:
+		return "1e7"
+	}
+	return fmt.Sprintf("%d", f)
+}
+
+// ScaleResult is one measured point. Events and Messages are deterministic
+// for a given simulator version, so baseline comparisons check them
+// exactly: any change in the event or message complexity of a run fails
+// the gate even when wall-clock noise hides it.
+type ScaleResult struct {
+	Nodes        int     `json:"nodes"`
+	Files        int     `json:"files"`
+	Requests     int     `json:"requests"`
+	NsPerRequest float64 `json:"ns_per_request"`
+	BytesPerNode uint64  `json:"bytes_per_node"`
+	WallSec      float64 `json:"wall_sec"`
+	Events       uint64  `json:"events"`
+	Messages     uint64  `json:"messages"`
+	Headline     bool    `json:"headline,omitempty"`
+}
+
+// scaleTraces caches generated traces by (files, requests): the three
+// cluster sizes of one catalog column share a trace, and trace generation
+// is setup, not measurement.
+var (
+	scaleTraceMu sync.Mutex
+	scaleTraces  = map[[2]int]*trace.Trace{}
+)
+
+func scaleTrace(files, requests int) *trace.Trace {
+	scaleTraceMu.Lock()
+	defer scaleTraceMu.Unlock()
+	key := [2]int{files, requests}
+	if tr, ok := scaleTraces[key]; ok {
+		return tr
+	}
+	tr := trace.MustGenerate(trace.GenSpec{
+		Name:      fmt.Sprintf("scale-F%d", files),
+		Files:     files,
+		AvgFileKB: 6,
+		Requests:  requests,
+		AvgReqKB:  5,
+		Alpha:     0.8,
+		LocalityP: 0.3,
+		Seed:      11,
+	})
+	scaleTraces[key] = tr
+	return tr
+}
+
+// DropScaleTraces releases the trace cache (the headline trace alone holds
+// ~1 GB).
+func DropScaleTraces() {
+	scaleTraceMu.Lock()
+	defer scaleTraceMu.Unlock()
+	scaleTraces = map[[2]int]*trace.Trace{}
+}
+
+// RunScalePoint measures one point: wall time per request and the peak heap
+// growth per node while the run is in flight (sampled concurrently — the
+// simulator itself is single-threaded).
+func RunScalePoint(p ScalePoint) (ScaleResult, error) {
+	tr := scaleTrace(p.Files, p.Requests)
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	var peak atomic.Uint64
+	peak.Store(base)
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		var m runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak.Load() {
+					peak.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	cfg := server.NewConfig(server.L2SServer, p.Nodes, server.WithSeed(5))
+	start := time.Now()
+	res, err := server.Run(cfg, tr)
+	wall := time.Since(start)
+	close(stop)
+	<-sampled
+	if err != nil {
+		return ScaleResult{}, err
+	}
+
+	growth := uint64(0)
+	if pk := peak.Load(); pk > base {
+		growth = pk - base
+	}
+	return ScaleResult{
+		Nodes:        p.Nodes,
+		Files:        p.Files,
+		Requests:     p.Requests,
+		NsPerRequest: float64(wall.Nanoseconds()) / float64(p.Requests),
+		BytesPerNode: growth / uint64(p.Nodes),
+		WallSec:      wall.Seconds(),
+		Events:       res.Events,
+		Messages:     res.ControlMessages,
+		Headline:     p.Headline,
+	}, nil
+}

@@ -32,6 +32,9 @@ func NewDispatchLARD(env Env, opts LARDOptions, queryCPU float64) *DispatchLARD 
 	}
 }
 
+// ReserveFiles pre-sizes the underlying LARD server-set index.
+func (d *DispatchLARD) ReserveFiles(n int) { d.lard.ReserveFiles(n) }
+
 // Name implements Distributor.
 func (d *DispatchLARD) Name() string { return "lard-dispatch" }
 

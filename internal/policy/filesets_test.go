@@ -1,0 +1,119 @@
+package policy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSets is the slice-per-file representation FileSets replaces, used as
+// the differential oracle.
+type refSets struct {
+	nodes    map[int32][]int32
+	modified map[int32]float64
+}
+
+func newRefSets() *refSets {
+	return &refSets{nodes: map[int32][]int32{}, modified: map[int32]float64{}}
+}
+
+// TestFileSetsDifferential drives FileSets and the reference through a long
+// random schedule of the exact operations LARD and L2S perform — create,
+// replace, append (including duplicate members), positional remove, touch —
+// and checks membership order and modification times after every step.
+func TestFileSetsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	fs := NewFileSets(0)
+	ref := newRefSets()
+	now := 0.0
+	const files = 60
+	for step := 0; step < 40_000; step++ {
+		now += rng.Float64()
+		f := int32(rng.Intn(files))
+		n := rng.Intn(16)
+		switch rng.Intn(5) {
+		case 0:
+			fs.SetSingle(f, n, now)
+			ref.nodes[f] = []int32{int32(n)}
+			ref.modified[f] = now
+		case 1:
+			fs.Append(f, n, now)
+			ref.nodes[f] = append(ref.nodes[f], int32(n))
+			ref.modified[f] = now
+		case 2:
+			if sz := len(ref.nodes[f]); sz > 1 {
+				i := rng.Intn(sz)
+				fs.RemoveAt(f, i, now)
+				ref.nodes[f] = append(ref.nodes[f][:i], ref.nodes[f][i+1:]...)
+				ref.modified[f] = now
+			}
+		case 3:
+			if len(ref.nodes[f]) > 0 {
+				fs.Touch(f, now)
+				ref.modified[f] = now
+			}
+		case 4:
+			got := fs.Nodes(f)
+			want := ref.nodes[f]
+			if len(got) != len(want) {
+				t.Fatalf("step %d file %d: nodes %v, want %v", step, f, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("step %d file %d: nodes %v, want %v", step, f, got, want)
+				}
+			}
+			if m := fs.Modified(f); m != ref.modified[f] {
+				t.Fatalf("step %d file %d: modified %v, want %v", step, f, m, ref.modified[f])
+			}
+		}
+	}
+	if fs.Len() != len(ref.nodes) {
+		t.Fatalf("Len = %d, want %d", fs.Len(), len(ref.nodes))
+	}
+	sizes := map[int]int{}
+	fs.RangeSizes(func(_ int32, size int) bool {
+		sizes[size]++
+		return true
+	})
+	wantSizes := map[int]int{}
+	for _, ns := range ref.nodes {
+		wantSizes[len(ns)]++
+	}
+	for k, v := range wantSizes {
+		if sizes[k] != v {
+			t.Fatalf("size histogram %v, want %v", sizes, wantSizes)
+		}
+	}
+}
+
+// TestFileSetsSpillRecycling pins the memory bound: sets that shrink back
+// to one member release their spill slot for reuse, so churn does not grow
+// the arena.
+func TestFileSetsSpillRecycling(t *testing.T) {
+	fs := NewFileSets(0)
+	for round := 0; round < 1000; round++ {
+		f := int32(round % 10)
+		fs.SetSingle(f, 1, 0)
+		fs.Append(f, 2, 1)
+		fs.Append(f, 3, 2)
+		fs.RemoveAt(f, 0, 3)
+		fs.RemoveAt(f, 0, 4) // back to a singleton: slot must recycle
+		if got := fs.Nodes(f); len(got) != 1 || got[0] != 3 {
+			t.Fatalf("round %d: nodes %v, want [3]", round, got)
+		}
+	}
+	if len(fs.spill) > 10 {
+		t.Fatalf("spill arena grew to %d slots for 10 files of churn", len(fs.spill))
+	}
+}
+
+// TestFileSetsReserveNoRehash checks the catalog-sizing path end to end.
+func TestFileSetsReserveNoRehash(t *testing.T) {
+	fs := NewFileSets(100_000)
+	for f := int32(0); f < 100_000; f++ {
+		fs.SetSingle(f, int(f%7), 0)
+	}
+	if fs.m.Grows() != 0 {
+		t.Fatalf("%d rehashes after NewFileSets(100000)", fs.m.Grows())
+	}
+}

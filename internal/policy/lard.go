@@ -1,10 +1,6 @@
 package policy
 
-import (
-	"fmt"
-
-	"repro/internal/fastmap"
-)
+import "fmt"
 
 // LARDOptions are the execution parameters of the LARD server. The defaults
 // are the values determined by Pai et al. and reused by the paper ("we use
@@ -61,13 +57,8 @@ type LARD struct {
 	// published: every comparison divides by exactly 1.0.
 	weights []float64
 
-	sets     *fastmap.Map[*lardSet]
+	sets     *FileSets
 	assigned uint64
-}
-
-type lardSet struct {
-	nodes    []int
-	modified float64
 }
 
 // NewLARD builds the LARD policy.
@@ -89,9 +80,13 @@ func NewLARD(env Env, opts LARDOptions) *LARD {
 		backends: backends,
 		feLoad:   make([]int, n),
 		pending:  make([]int, n),
-		sets:     fastmap.New[*lardSet](0),
+		sets:     NewFileSets(0),
 	}
 }
+
+// ReserveFiles pre-sizes the per-file server-set index for n distinct
+// files, so catalog-scale runs skip its rehash-doublings.
+func (l *LARD) ReserveFiles(n int) { l.sets.Reserve(n) }
 
 // NewWeightedLARD builds LARD with capacity-weighted load comparisons and
 // imbalance triggers. weights must have one entry per node, normalized to
@@ -150,66 +145,70 @@ func (l *LARD) Service(initial int, f FileID) int {
 	// Weighted comparisons: loads scale by 1/weight, thresholds stay
 	// nominal — equivalent to per-node thresholds THigh*w_i / TLow*w_i.
 	view := func(n int) float64 { return float64(l.feLoad[n]) / l.weight(n) }
-	set, _ := l.sets.Get(int32(f))
-	if set == nil || len(set.nodes) == 0 || l.allDead(set.nodes) {
+	f32 := int32(f)
+	nodes := l.sets.Nodes(f32)
+	if len(nodes) == 0 || l.allDead(nodes) {
 		n := argminScaled(l.env, l.backends, view)
 		if n < 0 {
 			return initial // cluster effectively down
 		}
-		l.sets.Put(int32(f), &lardSet{nodes: []int{n}, modified: l.env.Now()})
+		l.sets.SetSingle(f32, n, l.env.Now())
 		return n
 	}
-	n := l.leastLoadedMember(set, view)
+	n := l.leastLoadedMember(nodes, view)
 	cheapest := argminScaled(l.env, l.backends, view)
 	overloaded := view(n) > float64(l.opts.THigh) && cheapest >= 0 && view(cheapest) < float64(l.opts.TLow)
 	if overloaded || view(n) >= float64(2*l.opts.THigh) {
 		if cheapest >= 0 && cheapest != n {
 			if l.opts.Replication {
-				set.nodes = append(set.nodes, cheapest)
+				l.sets.Append(f32, cheapest, l.env.Now())
 			} else {
-				set.nodes = []int{cheapest}
+				l.sets.SetSingle(f32, cheapest, l.env.Now())
 			}
-			set.modified = l.env.Now()
 			n = cheapest
 		}
 	}
-	if l.opts.Replication && len(set.nodes) > 1 &&
-		l.env.Now()-set.modified > l.opts.ShrinkAfter {
-		l.removeMostLoaded(set, n, view)
-		set.modified = l.env.Now()
+	if l.opts.Replication {
+		// Re-read: growth above stamps the modification time.
+		nodes = l.sets.Nodes(f32)
+		if len(nodes) > 1 && l.env.Now()-l.sets.Modified(f32) > l.opts.ShrinkAfter {
+			l.removeMostLoaded(f32, nodes, n, view)
+		}
 	}
 	return n
 }
 
-func (l *LARD) allDead(nodes []int) bool {
+func (l *LARD) allDead(nodes []int32) bool {
 	for _, n := range nodes {
-		if l.env.Alive(n) {
+		if l.env.Alive(int(n)) {
 			return false
 		}
 	}
 	return true
 }
 
-func (l *LARD) leastLoadedMember(set *lardSet, view func(int) float64) int {
-	if n := argminScaled(l.env, set.nodes, view); n >= 0 {
+func (l *LARD) leastLoadedMember(nodes []int32, view func(int) float64) int {
+	if n := argminScaled32(l.env, nodes, view); n >= 0 {
 		return n
 	}
-	return set.nodes[0]
+	return int(nodes[0])
 }
 
-func (l *LARD) removeMostLoaded(set *lardSet, keep int, view func(int) float64) {
+func (l *LARD) removeMostLoaded(f int32, nodes []int32, keep int, view func(int) float64) {
 	worst, at := -1, -1
 	worstLoad := -1.0
-	for i, n := range set.nodes {
-		if n == keep {
+	for i, n := range nodes {
+		if int(n) == keep {
 			continue
 		}
-		if load := view(n); load > worstLoad {
-			worst, worstLoad, at = n, load, i
+		if load := view(int(n)); load > worstLoad {
+			worst, worstLoad, at = int(n), load, i
 		}
 	}
 	if worst >= 0 {
-		set.nodes = append(set.nodes[:at], set.nodes[at+1:]...)
+		l.sets.RemoveAt(f, at, l.env.Now())
+	} else {
+		l.sets.Touch(f, l.env.Now())
 	}
 }
 
@@ -243,8 +242,8 @@ func (l *LARD) OnComplete(n int, f FileID) {
 // and tests.
 func (l *LARD) SetSizes() map[int]int {
 	out := make(map[int]int)
-	l.sets.Range(func(_ int32, s *lardSet) bool {
-		out[len(s.nodes)]++
+	l.sets.RangeSizes(func(_ int32, size int) bool {
+		out[size]++
 		return true
 	})
 	return out

@@ -100,3 +100,18 @@ func argminScaled(env Env, candidates []int, load func(int) float64) int {
 	}
 	return best
 }
+
+// argminScaled32 is argminScaled over the int32 node lists FileSets stores.
+func argminScaled32(env Env, candidates []int32, load func(int) float64) int {
+	best := -1
+	bestLoad := math.Inf(1)
+	for _, n := range candidates {
+		if !env.Alive(int(n)) {
+			continue
+		}
+		if l := load(int(n)); l < bestLoad {
+			best, bestLoad = int(n), l
+		}
+	}
+	return best
+}

@@ -32,6 +32,13 @@ type Options struct {
 	// selects core.DefaultOptions.
 	L2S any
 
+	// Files hints the number of distinct files the policy will see, so
+	// per-file indexes (the LARD and L2S server-set tables) pre-size once
+	// instead of rehash-doubling a dozen times at 10^7-file catalogs. The
+	// simulator fills it with min(catalog size, request count); zero means
+	// unknown and is always safe.
+	Files int
+
 	// Weights gives each node's relative capacity, normalized to mean 1.
 	// The simulator fills it from the node hardware profiles; the weighted
 	// policies (wlc, lard-weighted, l2s-weighted) scale their thresholds
@@ -134,7 +141,9 @@ func init() {
 		if err := l.Validate(); err != nil {
 			return nil, err
 		}
-		return NewLARD(env, l), nil
+		d := NewLARD(env, l)
+		d.ReserveFiles(o.Files)
+		return d, nil
 	})
 	Register("lard-basic", func(env Env, o Options) (Distributor, error) {
 		l := o.lard()
@@ -142,7 +151,9 @@ func init() {
 		if err := l.Validate(); err != nil {
 			return nil, err
 		}
-		return NewLARD(env, l), nil
+		d := NewLARD(env, l)
+		d.ReserveFiles(o.Files)
+		return d, nil
 	})
 	Register("lard-dispatch", func(env Env, o Options) (Distributor, error) {
 		l := o.lard()
@@ -153,7 +164,9 @@ func init() {
 		if query <= 0 {
 			query = 0.0001
 		}
-		return NewDispatchLARD(env, l, query), nil
+		d := NewDispatchLARD(env, l, query)
+		d.ReserveFiles(o.Files)
+		return d, nil
 	})
 	Register("hashing", func(env Env, _ Options) (Distributor, error) {
 		return NewHashing(env), nil

@@ -83,6 +83,8 @@ func init() {
 		if err := l.Validate(); err != nil {
 			return nil, err
 		}
-		return NewWeightedLARD(env, l, o.NodeWeights(env.N())), nil
+		d := NewWeightedLARD(env, l, o.NodeWeights(env.N()))
+		d.ReserveFiles(o.Files)
+		return d, nil
 	})
 }

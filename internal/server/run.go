@@ -295,6 +295,12 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 	}
 
 	popts := cfg.policyOptions()
+	// Pre-size per-file policy state: a policy sees at most one set per
+	// distinct file, and no more files than there are requests.
+	popts.Files = tr.NumFiles()
+	if r := tr.NumRequests(); r < popts.Files {
+		popts.Files = r
+	}
 	if d.profiles != nil {
 		// Weighted policies scale their thresholds and selections by
 		// relative node capacity; unweighted ones ignore this.

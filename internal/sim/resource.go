@@ -73,6 +73,39 @@ func (r *Resource) Acquire(service Time, done func()) Time {
 	return finish
 }
 
+// ChargeAt books service seconds of FCFS work arriving at time at — which
+// may lie in the simulated past or future — without scheduling a completion
+// event. The job starts when the earliest-free server is free or at `at`,
+// whichever is later, exactly as a same-instant Acquire would; busy time and
+// the per-server free times advance identically. It returns the finish time.
+//
+// This is the arithmetic half of batched fan-out: a broadcast charges each
+// endpoint's resources with ChargeAt and schedules one pooled event at the
+// latest finish, instead of one completion event per endpoint per stage.
+// Because no event fires, the charge is invisible to the queue-length
+// statistics (inSystem, areaQ, Completed) — callers that batch trade those
+// per-message samples for the O(1) event count, but utilization and busy
+// time stay exact.
+func (r *Resource) ChargeAt(at, service Time) Time {
+	if service < 0 {
+		panic(fmt.Sprintf("sim: resource %q charge with negative service %v", r.name, service))
+	}
+	best := 0
+	for i := 1; i < len(r.free); i++ {
+		if r.free[i] < r.free[best] {
+			best = i
+		}
+	}
+	start := r.free[best]
+	if start < at {
+		start = at
+	}
+	finish := start + service
+	r.free[best] = finish
+	r.busy += service
+	return finish
+}
+
 // complete retires one job when its completion event fires.
 func (r *Resource) complete(done func()) {
 	r.accumulate(r.eng.Now())

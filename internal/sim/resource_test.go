@@ -261,3 +261,87 @@ func TestResourceMM1ResponseTime(t *testing.T) {
 		t.Fatalf("M/M/1 mean response time = %v, want about %v", got, want)
 	}
 }
+
+// ChargeAt must book work exactly as same-instant Acquires do — identical
+// free times, busy time, and finish times — while firing no events. This is
+// the equivalence that lets batched broadcasts charge endpoint resources
+// arithmetically without perturbing utilization.
+func TestResourceChargeAtMatchesAcquire(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		ra := NewResource(e, "a", 1)
+		rc := NewResource(e, "c", 1)
+		n := rng.Intn(8) + 1
+		at := rng.Float64() * 5
+		var finA, finC []float64
+		e.At(at, func() {
+			for i := 0; i < n; i++ {
+				svc := 0.001 * float64(rng.Intn(9)+1)
+				finA = append(finA, ra.Acquire(svc, nil))
+				finC = append(finC, rc.ChargeAt(e.Now(), svc))
+			}
+		})
+		e.Run()
+		for i := range finA {
+			if finA[i] != finC[i] {
+				t.Fatalf("trial %d job %d: Acquire finish %v, ChargeAt finish %v",
+					trial, i, finA[i], finC[i])
+			}
+		}
+		if ra.BusyTime() != rc.BusyTime() {
+			t.Fatalf("trial %d: busy %v vs %v", trial, ra.BusyTime(), rc.BusyTime())
+		}
+	}
+}
+
+// ChargeAt with a past arrival time must queue behind already-booked work,
+// never rewind a server's free time.
+func TestResourceChargeAtPastArrival(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "ni", 1)
+	if got := r.ChargeAt(0, 2); got != 2 {
+		t.Fatalf("first charge finish = %v, want 2", got)
+	}
+	// Arrives at t=1 while the server is busy until 2: starts at 2.
+	if got := r.ChargeAt(1, 3); got != 5 {
+		t.Fatalf("queued charge finish = %v, want 5", got)
+	}
+	// Arrives after the backlog drains: idles until 7.
+	if got := r.ChargeAt(7, 1); got != 8 {
+		t.Fatalf("idle charge finish = %v, want 8", got)
+	}
+	if r.BusyTime() != 6 {
+		t.Fatalf("BusyTime = %v, want 6", r.BusyTime())
+	}
+}
+
+// ChargeAt on a multi-server resource picks the earliest-free server, same
+// as Acquire.
+func TestResourceChargeAtMultiServer(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "nic", 2)
+	fins := []Time{
+		r.ChargeAt(0, 3), // server 0: [0,3]
+		r.ChargeAt(0, 3), // server 1: [0,3]
+		r.ChargeAt(0, 3), // server 0: [3,6]
+		r.ChargeAt(0, 3), // server 1: [3,6]
+	}
+	want := []Time{3, 3, 6, 6}
+	for i := range want {
+		if fins[i] != want[i] {
+			t.Fatalf("finishes = %v, want %v", fins, want)
+		}
+	}
+}
+
+func TestResourceChargeAtNegativeServicePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "cpu", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChargeAt(-1) did not panic")
+		}
+	}()
+	r.ChargeAt(0, -1)
+}
