@@ -36,9 +36,11 @@
 // rerun with -headline (it takes minutes); without it, a prior headline
 // entry in the file is carried over unchanged. -scale-compare reruns the
 // grid (never the headline) and fails on ns/request or bytes/node
-// regressions beyond the scale tolerance — and on ANY change in event or
-// message counts, which are deterministic and catch complexity regressions
-// that wall-clock noise hides.
+// regressions beyond the scale tolerance — and on ANY change in event,
+// message, or gossip counts, which are deterministic and catch complexity
+// regressions that wall-clock noise hides. The N1024-F1e7-chash point's
+// gossip count is exactly zero by construction, so the gate also pins the
+// consistent-hashing family's zero-coordination property.
 package main
 
 import (
@@ -186,9 +188,9 @@ func compareScalePoint(name string, cur perf.ScaleResult, baseline map[string]pe
 		return 0
 	}
 	status := 0
-	if base.Events != cur.Events || base.Messages != cur.Messages {
-		fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s DETERMINISM: events %d->%d messages %d->%d (regenerate with make bench-scale if intended)\n",
-			name, base.Events, cur.Events, base.Messages, cur.Messages)
+	if base.Events != cur.Events || base.Messages != cur.Messages || base.Gossip != cur.Gossip {
+		fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s DETERMINISM: events %d->%d messages %d->%d gossip %d->%d (regenerate with make bench-scale if intended)\n",
+			name, base.Events, cur.Events, base.Messages, cur.Messages, base.Gossip, cur.Gossip)
 		status = 1
 	}
 	if base.NsPerRequest > 0 {

@@ -2,8 +2,10 @@
 // distribution policy (or several), a workload, and a cluster size, and it
 // reports the Section 5 metrics.
 //
-// Policies are resolved through the policy registry (policy.Names), so an
-// unknown -system lists every valid one. Multi-system comparison mode runs
+// Policies are resolved through the policy registry (policy.ParseSpec), so
+// an unknown -system lists every valid name and alias. A system may be a
+// bare name or a parameterized spec, name:key=value[,key=value...], e.g.
+// "chash:vnodes=128,load=1.25,d=2". Multi-system comparison mode runs
 // several policies over the same workload on a deterministic parallel
 // worker pool and prints them side by side.
 //
@@ -11,8 +13,9 @@
 //
 //	clustersim -system l2s -trace calgary -nodes 16 -scale 0.2
 //	clustersim -system lard -in real.trace -nodes 8 -mem 128
+//	clustersim -system chash:vnodes=64,load=1.25 -nodes 128
 //	clustersim -system l2s -trace nasa -nodes 16 -fail 3 -failat 0.5
-//	clustersim -system l2s,lard,traditional -nodes 16    # comparison mode
+//	clustersim -system l2s,lard,chash-bounded -nodes 16  # comparison mode
 //	clustersim -system all -workers 4                    # every policy
 package main
 
@@ -34,7 +37,7 @@ import (
 
 func main() {
 	var (
-		system   = flag.String("system", "l2s", "policy name, comma-separated list, or \"all\" (valid: "+strings.Join(policy.Names(), ", ")+")")
+		system   = flag.String("system", "l2s", "policy spec (name[:k=v,...]), comma-separated list, or \"all\" (valid: "+strings.Join(policy.NamesAndAliases(), ", ")+")")
 		name     = flag.String("trace", "calgary", "paper trace to generate")
 		in       = flag.String("in", "", "trace file (overrides -trace)")
 		scale    = flag.Float64("scale", 0.2, "request-count scale for generated traces")
@@ -123,7 +126,9 @@ func main() {
 		return cfg
 	}
 
-	names := strings.Split(*system, ",")
+	// SplitSpecs (not a raw comma split) keeps parameterized specs such as
+	// "chash:vnodes=64,load=1.25" intact while still allowing lists.
+	names := policy.SplitSpecs(*system)
 	if *system == "all" {
 		names = policy.Names()
 	}

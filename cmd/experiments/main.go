@@ -8,6 +8,8 @@
 //	experiments -workers 1      # identical output, one simulation at a time
 //	experiments -scale 0.05     # quick pass
 //	experiments -only figure8   # one experiment
+//	experiments -only chash     # web-scale consistent-hashing sweep (runs only when named)
+//	experiments -policy chash:vnodes=64,load=1.25,lard   # compare policy specs, then exit
 //	experiments -csv            # machine-readable figures
 //	experiments -progress       # report each finished simulation (and the
 //	                            # process heap high-water mark) on stderr
@@ -30,6 +32,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -38,8 +41,9 @@ import (
 func main() {
 	var (
 		scale    = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
-		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency)")
+		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency; chash — the web-scale consistent-hashing sweep — runs only when named explicitly)")
 		profiles = flag.String("profiles", "", "per-node hardware spec, e.g. 4xfast:2.0/1.5/125000/64MB,12xslow:1.0/1.0/125000/32MB: run the weighted-policy comparison on that cluster, then exit")
+		policies = flag.String("policy", "", "comma-separated policy specs, e.g. chash:vnodes=64,load=1.25,lard:thigh=80: compare them on the clarknet workload, then exit")
 		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
 		chart    = flag.Bool("chart", false, "draw figures as ASCII charts too")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0: all cores, 1: sequential)")
@@ -92,6 +96,39 @@ func main() {
 		_, text, err := experiments.ProfileStudy(pool, tr, specs)
 		fatalIf(err)
 		fmt.Println(text)
+		return
+	}
+
+	if *policies != "" {
+		specs := policy.SplitSpecs(*policies)
+		spec, err := trace.PaperTrace("clarknet")
+		fatalIf(err)
+		tr, err := trace.Generate(spec.Scaled(opts.Scale / 2))
+		fatalIf(err)
+		_, text, err := experiments.SpecStudy(pool, tr, specs, 16)
+		fatalIf(err)
+		fmt.Println(text)
+		return
+	}
+
+	// The web-scale chash sweep (10^7-file catalog, clusters to 1024 nodes)
+	// generates a large trace and runs minutes, so it never rides along with
+	// the default everything pass: it runs only when asked for by name.
+	if strings.EqualFold(*only, "chash") {
+		start := time.Now()
+		fig, _, text, err := experiments.ChashScaleStudy(pool,
+			[]int{16, 64, 256, 1024}, 10_000_000, 300_000)
+		fatalIf(err)
+		fmt.Println(text)
+		if *csv {
+			fmt.Println(fig.CSV())
+		} else {
+			fmt.Println(fig.Render())
+		}
+		if *chart {
+			fmt.Println(fig.Chart(60, 16))
+		}
+		fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 

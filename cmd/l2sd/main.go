@@ -9,6 +9,7 @@
 //
 //	l2sd -nodes 4                       # run until interrupted
 //	l2sd -nodes 4 -demo 10s             # drive built-in load, print stats
+//	l2sd -nodes 4 -policy l2s:T=30,delta=8 -demo 10s     # spec-tuned thresholds
 //	l2sd -nodes 4 -demo 10s -kill 2@3s -restart 4s   # crash + rejoin drill
 //	l2sd -nodes 4 -demo 10s -droprate 0.1 -faultseed 7  # lossy gossip
 //	curl $(l2sd prints the URLs)/files/f/17
@@ -29,7 +30,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/native"
+	"repro/internal/policy"
 	"repro/internal/trace"
 	"repro/internal/zipf"
 )
@@ -43,6 +46,7 @@ func main() {
 		tHigh   = flag.Int("T", 20, "overload threshold (open requests)")
 		tLow    = flag.Int("t", 10, "underload threshold")
 		delta   = flag.Int("delta", 4, "load-broadcast drift")
+		polSpec = flag.String("policy", "", "L2S policy spec, e.g. l2s:T=30,t=5,delta=8,shrink=10; keys override -T/-t/-delta")
 		miss    = flag.Duration("misspenalty", 2*time.Millisecond, "artificial disk delay per cache miss")
 		demo    = flag.Duration("demo", 0, "run a built-in load generator for this long, then exit")
 		workers = flag.Int("workers", 64, "demo load-generator concurrency")
@@ -62,6 +66,32 @@ func main() {
 		metrics    = flag.Bool("metrics", false, "dump every node's /metricsz Prometheus exposition with the final stats")
 	)
 	flag.Parse()
+
+	// The daemon IS the l2s policy, so -policy accepts only the l2s family
+	// of the shared spec grammar; its keys layer over the short flags.
+	shrinkAfter := 20 * time.Second
+	if *polSpec != "" {
+		ps, err := policy.ParseSpec(*polSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if ps.Name != "l2s" {
+			fatal(fmt.Errorf("l2sd runs the l2s policy only, not %q (use clustersim to simulate other policies)", ps.Name))
+		}
+		base := policy.Options{L2S: core.Options{
+			T: *tHigh, LowT: *tLow, BroadcastDelta: *delta,
+			ShrinkAfter: shrinkAfter.Seconds(),
+		}}
+		co := ps.Options(base).L2S.(core.Options)
+		if co.Oracle {
+			fatal(fmt.Errorf("l2s:oracle is simulator-only: a live cluster has no true-load oracle"))
+		}
+		if err := co.Validate(); err != nil {
+			fatal(err)
+		}
+		*tHigh, *tLow, *delta = co.T, co.LowT, co.BroadcastDelta
+		shrinkAfter = time.Duration(co.ShrinkAfter * float64(time.Second))
+	}
 
 	store := native.SyntheticStore(*files, *avgKB, 1)
 	var replayTrace *trace.Trace
@@ -83,7 +113,7 @@ func main() {
 		native.WithCacheMB(*cacheMB),
 		native.WithThresholds(*tHigh, *tLow),
 		native.WithBroadcastDelta(*delta),
-		native.WithShrinkAfter(20 * time.Second),
+		native.WithShrinkAfter(shrinkAfter),
 		native.WithMissPenalty(*miss),
 		native.WithSeed(*faultseed),
 		native.WithHealth(native.HealthOptions{

@@ -112,6 +112,47 @@ func init() {
 		l.ReserveFiles(popts.Files)
 		return l, nil
 	})
+	policy.RegisterParams("l2s", l2sParams()...)
+	policy.RegisterParams("l2s-weighted", l2sParams()...)
+}
+
+// l2sParams declares the spec parameters of the L2S family (the keys match
+// the l2sd daemon's flag names). Each Apply materializes the defaults
+// before setting one field, so "l2s:delta=8" keeps T=20, t=10. A foreign
+// type already stored in Options.L2S is left untouched for the factory to
+// reject.
+func l2sParams() []policy.Param {
+	set := func(f func(*Options, float64)) func(*policy.Options, float64) {
+		return func(po *policy.Options, v float64) {
+			opts := DefaultOptions()
+			if o, ok := po.L2S.(Options); ok && o != (Options{}) {
+				opts = o
+			} else if po.L2S != nil {
+				if _, foreign := po.L2S.(Options); !foreign {
+					return
+				}
+			}
+			f(&opts, v)
+			po.L2S = opts
+		}
+	}
+	return []policy.Param{
+		{Key: "T", Kind: policy.IntParam, Min: 1, Max: 1e6,
+			Doc:   "overload threshold in open connections",
+			Apply: set(func(o *Options, v float64) { o.T = int(v) })},
+		{Key: "t", Kind: policy.IntParam, Min: 0, Max: 1e6,
+			Doc:   "underload threshold for server-set shrinking",
+			Apply: set(func(o *Options, v float64) { o.LowT = int(v) })},
+		{Key: "delta", Kind: policy.IntParam, Min: 1, Max: 1e6,
+			Doc:   "load drift, in connections, that triggers a broadcast",
+			Apply: set(func(o *Options, v float64) { o.BroadcastDelta = int(v) })},
+		{Key: "shrink", Kind: policy.FloatParam, Min: 0, Max: 1e6,
+			Doc:   "seconds a server set stays stable before shrinking",
+			Apply: set(func(o *Options, v float64) { o.ShrinkAfter = v })},
+		{Key: "oracle", Kind: policy.BoolParam,
+			Doc:   "read true remote loads instead of gossiped views",
+			Apply: set(func(o *Options, v float64) { o.Oracle = v != 0 })},
+	}
 }
 
 // L2S implements policy.Distributor.

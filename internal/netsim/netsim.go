@@ -177,6 +177,12 @@ func (nw *Network) linkRate(from, to *cluster.Node) float64 {
 	return rate
 }
 
+// LinkRate exposes the effective per-pair serialization rate in KB/s for
+// proximity-aware dispatch policies; see linkRate.
+func (nw *Network) LinkRate(from, to *cluster.Node) float64 {
+	return nw.linkRate(from, to)
+}
+
 // WireTime returns the wire latency of moving kb kilobytes between two
 // nodes: switch traversal plus serialization at the endpoints' effective
 // link rate. Bulk-data paths (distributed-file-system reads, back-end
@@ -223,7 +229,10 @@ func (nw *Network) Send(from, to *cluster.Node, kb float64, delivered func()) {
 // most one completion event is scheduled, instead of the five events per
 // message the per-pair path costs. See broadcastBatched for the exactness
 // argument.
-func (nw *Network) Broadcast(from *cluster.Node, others []*cluster.Node, kb float64, delivered func()) {
+//
+// Broadcast returns the number of point-to-point messages sent (the live
+// receiver count), so callers can account gossip traffic exactly.
+func (nw *Network) Broadcast(from *cluster.Node, others []*cluster.Node, kb float64, delivered func()) int {
 	remaining := 0
 	for _, n := range others {
 		if n != from && !n.Failed() {
@@ -235,11 +244,11 @@ func (nw *Network) Broadcast(from *cluster.Node, others []*cluster.Node, kb floa
 			// Deliver asynchronously for consistency with the network path.
 			nw.eng.Schedule(0, delivered)
 		}
-		return
+		return 0
 	}
 	if nw.cfg.BatchFanout > 0 && remaining >= nw.cfg.BatchFanout {
 		nw.broadcastBatched(from, others, remaining, kb, delivered)
-		return
+		return remaining
 	}
 	b := nw.getBroadcast()
 	b.remaining = remaining
@@ -250,6 +259,7 @@ func (nw *Network) Broadcast(from *cluster.Node, others []*cluster.Node, kb floa
 		}
 		nw.Send(from, n, kb, b.arrived)
 	}
+	return remaining
 }
 
 // broadcastBatched books a k-receiver broadcast with O(k) arithmetic and at

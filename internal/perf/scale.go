@@ -21,6 +21,9 @@ type ScalePoint struct {
 	Nodes    int
 	Files    int
 	Requests int
+	// Policy selects the distribution policy spec for this point; empty
+	// runs the default L2S server exactly as every pre-existing point does.
+	Policy string
 	// Headline marks the flagship N=1024, F=10^7, 10^8-request run: it is
 	// regenerated only on demand and skipped by comparisons, because it
 	// takes minutes where the grid takes seconds.
@@ -48,6 +51,16 @@ func ScaleGrid() []ScalePoint {
 			})
 		}
 	}
+	// The consistent-hashing point pins the zero-coordination claim at the
+	// largest grid corner: bench-scale-check compares its message count
+	// exactly, and its gossip count must stay exactly zero.
+	pts = append(pts, ScalePoint{
+		Name:     "N1024-F1e7-chash",
+		Nodes:    1024,
+		Files:    10_000_000,
+		Requests: scaleGridRequests,
+		Policy:   "chash",
+	})
 	pts = append(pts, ScalePoint{
 		Name:     "headline-N1024-F1e7-R1e8",
 		Nodes:    1024,
@@ -78,11 +91,13 @@ type ScaleResult struct {
 	Nodes        int     `json:"nodes"`
 	Files        int     `json:"files"`
 	Requests     int     `json:"requests"`
+	Policy       string  `json:"policy,omitempty"`
 	NsPerRequest float64 `json:"ns_per_request"`
 	BytesPerNode uint64  `json:"bytes_per_node"`
 	WallSec      float64 `json:"wall_sec"`
 	Events       uint64  `json:"events"`
 	Messages     uint64  `json:"messages"`
+	Gossip       uint64  `json:"gossip,omitempty"`
 	Headline     bool    `json:"headline,omitempty"`
 }
 
@@ -157,6 +172,10 @@ func RunScalePoint(p ScalePoint) (ScaleResult, error) {
 	}()
 
 	cfg := server.NewConfig(server.L2SServer, p.Nodes, server.WithSeed(5))
+	if p.Policy != "" {
+		cfg = server.NewConfig(server.CustomServer, p.Nodes,
+			server.WithPolicy(p.Policy), server.WithSeed(5))
+	}
 	start := time.Now()
 	res, err := server.Run(cfg, tr)
 	wall := time.Since(start)
@@ -174,11 +193,13 @@ func RunScalePoint(p ScalePoint) (ScaleResult, error) {
 		Nodes:        p.Nodes,
 		Files:        p.Files,
 		Requests:     p.Requests,
+		Policy:       p.Policy,
 		NsPerRequest: float64(wall.Nanoseconds()) / float64(p.Requests),
 		BytesPerNode: growth / uint64(p.Nodes),
 		WallSec:      wall.Seconds(),
 		Events:       res.Events,
 		Messages:     res.ControlMessages,
+		Gossip:       res.GossipMessages,
 		Headline:     p.Headline,
 	}, nil
 }

@@ -80,6 +80,16 @@ type ClientAware interface {
 	SetNextClient(c int32)
 }
 
+// PairRater is optionally implemented by environments that know the
+// effective line rate between node pairs (the simulator derives it from the
+// per-node hardware profiles). Proximity-aware policies type-assert for it;
+// environments without it get plain load-based decisions. Implementations
+// return the uncapped intra-node bandwidth when a == b — a local assignment
+// crosses no wire.
+type PairRater interface {
+	PairRateKBps(a, b int) float64
+}
+
 // SetNextClient implements ClientAware for CachedDNS.
 func (p *CachedDNS) SetNextClient(c int32) { p.NextClient = c }
 

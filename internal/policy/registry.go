@@ -45,6 +45,10 @@ type Options struct {
 	// and selections by it. nil means a homogeneous cluster, and makes
 	// every weighted policy behave exactly like its unweighted base.
 	Weights []float64
+
+	// Chash configures the consistent-hashing family (chash, chash-bounded,
+	// chash-d). The zero value selects each name's published defaults.
+	Chash ChashOptions
 }
 
 // NodeWeights returns o.Weights validated against the cluster size: nil
@@ -75,9 +79,11 @@ var registry = struct {
 	sync.RWMutex
 	factories map[string]Factory
 	aliases   map[string]string
+	params    map[string][]Param
 }{
 	factories: make(map[string]Factory),
 	aliases:   make(map[string]string),
+	params:    make(map[string][]Param),
 }
 
 // Register adds a named policy constructor to the registry. It panics on a
@@ -93,7 +99,8 @@ func Register(name string, f Factory) {
 }
 
 // RegisterAlias makes alias resolve to the policy registered under name.
-// Aliases are accepted by New but not listed by Names.
+// Aliases are accepted by ParseSpec and NewNamed but not listed by Names;
+// NamesAndAliases lists them marked with their targets.
 func RegisterAlias(alias, name string) {
 	registry.Lock()
 	defer registry.Unlock()
@@ -103,9 +110,15 @@ func RegisterAlias(alias, name string) {
 	registry.aliases[alias] = name
 }
 
-// New constructs the named distribution policy over env. Unknown names
-// return an error listing every valid one.
-func New(name string, env Env, opts Options) (Distributor, error) {
+// NewNamed constructs the named distribution policy over env from a
+// pre-assembled Options. Unknown names return an error listing every valid
+// name and alias.
+//
+// Deprecated: parse a policy spec instead — New(ParseSpec(name), env) is
+// bit-identical for every plain name and additionally accepts per-family
+// parameters ("chash:vnodes=256"). NewNamed remains for callers that build
+// Options structs directly.
+func NewNamed(name string, env Env, opts Options) (Distributor, error) {
 	registry.RLock()
 	if target, ok := registry.aliases[name]; ok {
 		name = target
@@ -114,7 +127,7 @@ func New(name string, env Env, opts Options) (Distributor, error) {
 	registry.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("policy: unknown policy %q (valid: %s)",
-			name, strings.Join(Names(), ", "))
+			name, strings.Join(NamesAndAliases(), ", "))
 	}
 	return f(env, opts)
 }
@@ -185,4 +198,49 @@ func init() {
 		}
 		return NewCachedDNS(env, ttl), nil
 	})
+
+	RegisterParams("lard", lardParams()...)
+	RegisterParams("lard-basic", lardParams()[:4]...) // replication is forced off
+	RegisterParams("lard-dispatch", append(lardParams(),
+		Param{Key: "query", Kind: FloatParam, Min: 0, Max: 1, MinExcl: true,
+			Doc:   "dispatcher CPU seconds per decision query",
+			Apply: func(o *Options, v float64) { o.DispatchQuerySec = v }})...)
+	RegisterParams("random",
+		Param{Key: "seed", Kind: IntParam, Min: 1, Max: 1 << 53,
+			Doc:   "RNG seed for the uniform node draw",
+			Apply: func(o *Options, v float64) { o.Seed = int64(v) }})
+	RegisterParams("cached-dns",
+		Param{Key: "ttl", Kind: IntParam, Min: 1, Max: 1e9,
+			Doc:   "requests served per cached DNS translation",
+			Apply: func(o *Options, v float64) { o.DNSTTL = int(v) }})
+}
+
+// lardParams declares the spec parameters shared by the LARD family. Each
+// Apply materializes the published defaults before overwriting one field,
+// so "lard:thigh=80" keeps the default TLow rather than a zero one.
+func lardParams() []Param {
+	set := func(f func(*LARDOptions, float64)) func(*Options, float64) {
+		return func(o *Options, v float64) {
+			l := o.lard()
+			f(&l, v)
+			o.LARD = l
+		}
+	}
+	return []Param{
+		{Key: "tlow", Kind: IntParam, Min: 1, Max: 1e6,
+			Doc:   "load below which any server is acceptable",
+			Apply: set(func(l *LARDOptions, v float64) { l.TLow = int(v) })},
+		{Key: "thigh", Kind: IntParam, Min: 1, Max: 1e6,
+			Doc:   "load above which requests migrate away",
+			Apply: set(func(l *LARDOptions, v float64) { l.THigh = int(v) })},
+		{Key: "shrink", Kind: FloatParam, Min: 0, Max: 1e6,
+			Doc:   "seconds of inactivity before a server set shrinks",
+			Apply: set(func(l *LARDOptions, v float64) { l.ShrinkAfter = v })},
+		{Key: "batch", Kind: IntParam, Min: 1, Max: 1e6,
+			Doc:   "load-update batch size",
+			Apply: set(func(l *LARDOptions, v float64) { l.UpdateBatch = int(v) })},
+		{Key: "replication", Kind: BoolParam,
+			Doc:   "replicate hot files across a server set",
+			Apply: set(func(l *LARDOptions, v float64) { l.Replication = v != 0 })},
+	}
 }

@@ -87,4 +87,5 @@ func init() {
 		d.ReserveFiles(o.Files)
 		return d, nil
 	})
+	RegisterParams("lard-weighted", lardParams()...)
 }

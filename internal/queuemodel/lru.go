@@ -1,0 +1,101 @@
+package queuemodel
+
+import "math"
+
+// LRU miss-ratio asymptotics for the consistent-hashing conformance test.
+//
+// Ji, Quan, and Tan (Asymptotic Miss Ratio of LRU Caching with Consistent
+// Hashing, arXiv:1801.02436) prove that when requests over a Zipf(alpha)
+// catalog are hash-partitioned across n LRU servers, the aggregate miss
+// ratio converges to that of ONE pooled LRU holding the combined capacity —
+// splitting both the key space and the cache n ways costs nothing,
+// asymptotically, because each shard sees a thinned copy of the same
+// power-law. That single-cache limit is the classical Che/characteristic-
+// time result, which for alpha > 1 and cache size x with 1 << x << m has
+// the closed form
+//
+//	M(x) ~ (c/alpha) * Gamma(1 - 1/alpha)^alpha * x^(1-alpha)
+//
+// where c = 1/H_m(alpha) is the Zipf normalizer (p_i = c * i^-alpha,
+// H_m(alpha) = sum_{i<=m} i^-alpha): substituting u = c*T/t^alpha in the
+// miss integral M = integral c t^-alpha exp(-c T t^-alpha) dt gives
+// M = (1/alpha) c^{1/alpha} T^{1/alpha - 1} Gamma(1 - 1/alpha), and the
+// cache-occupancy constraint x = integral (1 - exp(-c T t^-alpha)) dt =
+// (c T)^{1/alpha} Gamma(1 - 1/alpha) eliminates the characteristic time T.
+//
+// The simulator's chash policy is exactly the theorem's setting (hash
+// partition, per-node LRU), so the conformance test pins the simulated miss
+// ratio of an n-node chash cluster — and of the pooled single node — to
+// this curve at small cache/catalog ratios.
+
+// LRUZipfMissAsymptotic returns the asymptotic miss ratio of LRU caching
+// over an independent-reference Zipf(alpha) stream: catalog of m files,
+// total cache capacity of x files. Requires alpha > 1; accuracy needs
+// 1 << x << m (the small cache/catalog regime of the theorem). By
+// Ji/Quan/Tan the same value is the aggregate miss ratio of that capacity
+// split evenly across any number of consistent-hash partitions.
+func LRUZipfMissAsymptotic(alpha float64, m int, x float64) float64 {
+	if alpha <= 1 || m < 1 || x <= 0 {
+		return math.NaN()
+	}
+	c := 1 / zipfNorm(alpha, m)
+	g := math.Gamma(1 - 1/alpha)
+	miss := c / alpha * math.Pow(g, alpha) * math.Pow(x, 1-alpha)
+	return math.Min(miss, 1)
+}
+
+// LRUZipfMissChe returns the miss ratio of the same cache under the full
+// finite-catalog Che approximation: the characteristic time T solves
+// sum_i (1 - exp(-p_i T)) = x and the miss ratio is sum_i p_i exp(-p_i T).
+// This keeps the catalog-truncation mass the m -> infinity closed form
+// drops (a tail of weight ~ c*m^(1-alpha)/(alpha-1) that a finite
+// simulation still misses on), so it is the tighter reference for
+// simulated runs; LRUZipfMissAsymptotic is its x -> infinity, x/m -> 0
+// limit. O(m log(range)) time.
+func LRUZipfMissChe(alpha float64, m int, x float64) float64 {
+	if alpha <= 0 || m < 1 || x <= 0 {
+		return math.NaN()
+	}
+	if x >= float64(m) {
+		return 0 // everything fits
+	}
+	c := 1 / zipfNorm(alpha, m)
+	occupancy := func(T float64) float64 {
+		s := 0.0
+		for i := m; i >= 1; i-- {
+			s += 1 - math.Exp(-c*math.Pow(float64(i), -alpha)*T)
+		}
+		return s
+	}
+	// occupancy(T) <= sum p_i*T = T, so T >= x always; start there.
+	lo, hi := x, 2*x
+	for occupancy(hi) < x {
+		lo = hi
+		hi *= 2
+	}
+	for k := 0; k < 40; k++ {
+		mid := (lo + hi) / 2
+		if occupancy(mid) < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	T := (lo + hi) / 2
+	miss := 0.0
+	for i := m; i >= 1; i-- {
+		p := c * math.Pow(float64(i), -alpha)
+		miss += p * math.Exp(-p*T)
+	}
+	return miss
+}
+
+// zipfNorm returns H_m(alpha) = sum_{i=1}^{m} i^-alpha, summed smallest
+// terms first so the 10^7-file catalogs lose nothing to rounding.
+func zipfNorm(alpha float64, m int) float64 {
+	sum := 0.0
+	for i := m; i >= 1; i-- {
+		sum += math.Pow(float64(i), -alpha)
+	}
+	return sum
+}

@@ -1,0 +1,80 @@
+package queuemodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLRUAsymptoticMatchesCheApproximation pins the closed form against the
+// numerically solved finite-catalog Che approximation where the theorem's
+// regime is sharp (1 << x << m and a thin Zipf tail).
+func TestLRUAsymptoticMatchesCheApproximation(t *testing.T) {
+	for _, tc := range []struct {
+		alpha float64
+		m     int
+		x     float64
+	}{
+		{1.5, 200000, 500},
+		{1.7, 200000, 1000},
+		{2.0, 200000, 1000},
+	} {
+		got := LRUZipfMissAsymptotic(tc.alpha, tc.m, tc.x)
+		ref := LRUZipfMissChe(tc.alpha, tc.m, tc.x)
+		if rel := math.Abs(got-ref) / ref; rel > 0.05 {
+			t.Errorf("alpha=%v m=%d x=%v: asymptotic %.5f vs Che %.5f (rel %.3f)",
+				tc.alpha, tc.m, tc.x, got, ref, rel)
+		}
+	}
+}
+
+// TestLRUAsymptoticConvergesWithCatalog: the closed form drops the
+// catalog's truncated tail mass (~ c*m^(1-alpha)/(alpha-1)), so its gap to
+// the finite-m Che reference must shrink as the catalog grows at fixed
+// cache size — the m -> infinity limit the theorem takes.
+func TestLRUAsymptoticConvergesWithCatalog(t *testing.T) {
+	alpha, x := 1.5, 2000.0
+	rel := func(m int) float64 {
+		got := LRUZipfMissAsymptotic(alpha, m, x)
+		ref := LRUZipfMissChe(alpha, m, x)
+		return math.Abs(got-ref) / ref
+	}
+	small, large := rel(200000), rel(2000000)
+	if large >= small {
+		t.Fatalf("gap must shrink with the catalog: m=2e5 rel %.4f, m=2e6 rel %.4f", small, large)
+	}
+	if large > 0.05 {
+		t.Fatalf("at m=2e6 the closed form should be within 5%% of Che, got %.4f", large)
+	}
+}
+
+// TestLRUAsymptoticPowerLawScaling: M(x) ~ x^(1-alpha), so doubling the
+// cache multiplies the miss ratio by exactly 2^(1-alpha).
+func TestLRUAsymptoticPowerLawScaling(t *testing.T) {
+	alpha, m := 1.5, 1000000
+	r := LRUZipfMissAsymptotic(alpha, m, 4000) / LRUZipfMissAsymptotic(alpha, m, 2000)
+	if want := math.Pow(2, 1-alpha); math.Abs(r-want) > 1e-12 {
+		t.Errorf("scaling ratio %.15f, want %.15f", r, want)
+	}
+}
+
+func TestLRUAsymptoticDomain(t *testing.T) {
+	if !math.IsNaN(LRUZipfMissAsymptotic(1.0, 1000, 10)) {
+		t.Error("alpha <= 1 must return NaN (theorem requires alpha > 1)")
+	}
+	if !math.IsNaN(LRUZipfMissAsymptotic(1.5, 0, 10)) {
+		t.Error("empty catalog must return NaN")
+	}
+	if got := LRUZipfMissAsymptotic(1.5, 100, 0.0001); got > 1 {
+		t.Errorf("miss ratio must clamp to 1, got %v", got)
+	}
+	got := LRUZipfMissAsymptotic(1.5, 200000, 2000)
+	if got <= 0 || got >= 1 {
+		t.Errorf("miss ratio out of (0,1): %v", got)
+	}
+	if got := LRUZipfMissChe(1.5, 100, 200); got != 0 {
+		t.Errorf("cache larger than catalog must miss nothing, got %v", got)
+	}
+	if !math.IsNaN(LRUZipfMissChe(1.5, 100, 0)) {
+		t.Error("zero cache must return NaN")
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/queuemodel"
+	"repro/internal/trace"
+	"repro/internal/zipf"
+)
+
+// Conformance suite for the consistent-hashing policy family against
+// Ji/Quan/Tan (Asymptotic Miss Ratio of LRU Caching with Consistent
+// Hashing, arXiv:1801.02436): hash-partitioned LRU over n servers has,
+// asymptotically, the miss ratio of ONE pooled LRU of the combined
+// capacity. The tests run the real simulator — ring, per-node LRU caches,
+// forwarding — and pin its measured miss ratio to the theory at a small
+// cache/catalog ratio (x/m = 1%), plus the partition-insensitivity claim
+// itself and the zero-gossip property that motivates the family.
+
+// chashZipfTrace builds an exact theorem-setting trace: iid Zipf(alpha)
+// requests over m equal-sized files, with none of trace.Generate's size
+// noise or locality mixing.
+func chashZipfTrace(alpha float64, m, requests int, seed int64) *trace.Trace {
+	sizes := make([]int64, m)
+	for i := range sizes {
+		sizes[i] = chashFileBytes
+	}
+	dist := zipf.New(alpha, int64(m))
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]cache.FileID, requests)
+	for i := range reqs {
+		reqs[i] = cache.FileID(dist.Sample(rng) - 1) // rank 1 = file 0
+	}
+	tr := &trace.Trace{Name: "chash-conformance", Alpha: alpha, Sizes: sizes, Requests: reqs}
+	if err := tr.Validate(); err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+const (
+	chashAlpha     = 1.5
+	chashCatalog   = 200_000
+	chashFileBytes = 4096
+	chashNodeCache = 1_024_000 // 250 files per node
+	chashNodes     = 8
+	chashRequests  = 300_000
+)
+
+// chashMissRate runs one chash-family configuration over the theorem trace
+// and returns the measured miss ratio.
+func chashMissRate(t *testing.T, tr *trace.Trace, policy string, nodes int, cacheBytes int64) Result {
+	t.Helper()
+	cfg := NewConfig(CustomServer, nodes,
+		WithPolicy(policy), WithSeed(42), WithCacheBytes(cacheBytes))
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChashMissRatioMatchesJiQuanTan pins the simulated 8-node chash miss
+// ratio to the theory at x/m = 2000/200000: within 10% of the finite-
+// catalog Che reference (the theorem's curve before the m -> infinity
+// truncation) and within 25% of the closed-form asymptotic itself, whose
+// extra gap is exactly the catalog tail the closed form drops (verified to
+// vanish with m in the queuemodel tests).
+func TestChashMissRatioMatchesJiQuanTan(t *testing.T) {
+	tr := chashZipfTrace(chashAlpha, chashCatalog, chashRequests, 9)
+	totalFiles := float64(chashNodes) * chashNodeCache / chashFileBytes
+	che := queuemodel.LRUZipfMissChe(chashAlpha, chashCatalog, totalFiles)
+	asym := queuemodel.LRUZipfMissAsymptotic(chashAlpha, chashCatalog, totalFiles)
+
+	res := chashMissRate(t, tr, "chash", chashNodes, chashNodeCache)
+	t.Logf("sim miss %.5f, Che %.5f, asymptotic %.5f", res.MissRate, che, asym)
+	if rel := math.Abs(res.MissRate-che) / che; rel > 0.10 {
+		t.Errorf("8-node chash miss %.5f vs Che %.5f: rel %.3f > 0.10", res.MissRate, che, rel)
+	}
+	if rel := math.Abs(res.MissRate-asym) / asym; rel > 0.25 {
+		t.Errorf("8-node chash miss %.5f vs asymptotic %.5f: rel %.3f > 0.25", res.MissRate, asym, rel)
+	}
+}
+
+// TestChashPartitionInsensitivity is the theorem's actual claim: splitting
+// cache and key space 8 ways behind the ring costs (asymptotically)
+// nothing versus one pooled LRU of the same total capacity.
+func TestChashPartitionInsensitivity(t *testing.T) {
+	tr := chashZipfTrace(chashAlpha, chashCatalog, chashRequests, 9)
+	parted := chashMissRate(t, tr, "chash", chashNodes, chashNodeCache)
+	pooled := chashMissRate(t, tr, "chash", 1, chashNodes*chashNodeCache)
+	t.Logf("8-way miss %.5f, pooled miss %.5f", parted.MissRate, pooled.MissRate)
+	if rel := math.Abs(parted.MissRate-pooled.MissRate) / pooled.MissRate; rel > 0.10 {
+		t.Errorf("partitioned %.5f vs pooled %.5f: rel %.3f > 0.10",
+			parted.MissRate, pooled.MissRate, rel)
+	}
+}
+
+// TestChashSendsZeroGossip: every chash variant makes all decisions from
+// local hashes and true loads, so the policy control-message count is
+// exactly zero, while L2S pays for its broadcast-fresh view. (Hand-off
+// traffic for forwarded requests appears in ControlMessages for both.)
+func TestChashSendsZeroGossip(t *testing.T) {
+	tr := chashZipfTrace(chashAlpha, 20_000, 30_000, 5)
+	for _, p := range []string{"chash", "chash-bounded", "chash-d", "chash-d2",
+		"chash:vnodes=64,load=1.5,d=2"} {
+		res := chashMissRate(t, tr, p, chashNodes, chashNodeCache)
+		if res.GossipMessages != 0 {
+			t.Errorf("%s sent %d gossip messages, want exactly 0", p, res.GossipMessages)
+		}
+	}
+	l2s := chashMissRate(t, tr, "l2s", chashNodes, chashNodeCache)
+	if l2s.GossipMessages == 0 {
+		t.Error("l2s must gossip; counter seems disconnected")
+	}
+	if l2s.GossipMessages > l2s.ControlMessages {
+		t.Errorf("gossip %d cannot exceed total messages %d",
+			l2s.GossipMessages, l2s.ControlMessages)
+	}
+}
+
+// TestChashBoundedImprovesImbalance: on the same trace, bounded loads must
+// not lose much hit rate versus pure chash while reducing the peak/mean
+// load imbalance — the design point of the bounded-load ring.
+func TestChashBoundedImprovesImbalance(t *testing.T) {
+	tr := chashZipfTrace(chashAlpha, chashCatalog, chashRequests, 9)
+	pure := chashMissRate(t, tr, "chash", chashNodes, chashNodeCache)
+	bounded := chashMissRate(t, tr, "chash-bounded", chashNodes, chashNodeCache)
+	t.Logf("pure imbalance %.3f miss %.4f; bounded imbalance %.3f miss %.4f",
+		pure.LoadImbalance, pure.MissRate, bounded.LoadImbalance, bounded.MissRate)
+	if bounded.LoadImbalance >= pure.LoadImbalance {
+		t.Errorf("bounded loads did not reduce imbalance: %.3f vs %.3f",
+			bounded.LoadImbalance, pure.LoadImbalance)
+	}
+}
+
+// TestChashSpecReachesRun: a parameterized spec string flows through
+// Config.Policy into construction, and a bad one fails Validate eagerly
+// with the family's accepted keys in the error.
+func TestChashSpecReachesRun(t *testing.T) {
+	tr := chashZipfTrace(chashAlpha, 20_000, 20_000, 5)
+	cfg := NewConfig(CustomServer, 4,
+		WithPolicy("chash:vnodes=32,d=2"), WithSeed(1), WithCacheBytes(chashNodeCache))
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != "chash" {
+		t.Errorf("spec built %q", res.System)
+	}
+	bad := NewConfig(CustomServer, 4, WithPolicy("chash:fanout=2"))
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown spec key must fail Config.Validate")
+	}
+	if _, err := Run(bad, tr); err == nil {
+		t.Error("unknown spec key must fail Run")
+	}
+}
+
+func init() {
+	// Guard the constants against silent drift: the conformance regime is
+	// x/m = 1% with 250 files per node.
+	if chashNodes*chashNodeCache/chashFileBytes != 2000 {
+		panic(fmt.Sprintf("chash conformance constants drifted: total %d files",
+			chashNodes*chashNodeCache/chashFileBytes))
+	}
+}

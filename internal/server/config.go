@@ -151,11 +151,13 @@ type Config struct {
 	// CustomPolicy builds the distributor when System == CustomServer.
 	CustomPolicy func(env policy.Env) policy.Distributor
 
-	// Policy, when non-empty, selects a registered distribution policy by
-	// name (see policy.Names) instead of the System's default; it takes
-	// precedence over System for distributor construction and is the
-	// CLI-facing route into the policy registry. CustomPolicy, when also
-	// set, wins over Policy.
+	// Policy, when non-empty, selects a registered distribution policy
+	// instead of the System's default; it takes precedence over System for
+	// distributor construction and is the CLI-facing route into the policy
+	// registry. It accepts a full policy spec — a name plus per-family
+	// parameters, e.g. "chash:vnodes=256,load=1.25" (see policy.ParseSpec);
+	// spec parameters are applied on top of the tunables assembled from
+	// this Config. CustomPolicy, when also set, wins over Policy.
 	Policy string
 
 	// Seed is the run's base RNG seed. It fills ArrivalSeed and
@@ -248,6 +250,13 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	// Policy is a full spec string; parse it eagerly so an unknown name or
+	// out-of-range parameter fails the grid point, not the whole sweep.
+	if c.Policy != "" {
+		if _, err := policy.ParseSpec(c.Policy); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -308,6 +317,13 @@ type Result struct {
 	ControlMessages uint64  // intra-cluster messages (hand-offs + gossip)
 	SimTime         float64 // simulated seconds measured
 	Events          uint64  // events the engine fired
+
+	// GossipMessages counts only the policy's own control traffic (load
+	// reports, server-set broadcasts) — the messages a zero-coordination
+	// policy like chash avoids. Excluded from JSON so the pre-gossip
+	// equivalence goldens stay byte-identical; BENCH_scale.json carries it
+	// via perf.ScaleResult.
+	GossipMessages uint64 `json:"-"`
 
 	// Timeline holds completions per second for consecutive buckets of
 	// TimelineBucket simulated seconds (empty unless configured).

@@ -46,6 +46,7 @@ type driver struct {
 	aborted   uint64
 	assigned  uint64
 	forwarded uint64
+	gossip    uint64 // policy control messages (Env sends + broadcast copies)
 
 	latency *stats.Histogram
 
@@ -309,7 +310,14 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 	if cfg.System == CustomServer && cfg.CustomPolicy != nil {
 		d.dist = cfg.CustomPolicy(d)
 	} else {
-		dist, err := policy.New(cfg.policyName(), d, popts)
+		// The policy name is a full spec ("chash:vnodes=256,load=1.25"):
+		// parsed parameters are applied on top of the Options assembled
+		// above, so a plain name builds exactly what NewNamed would.
+		spec, err := policy.ParseSpec(cfg.policyName())
+		if err != nil {
+			return Result{}, fmt.Errorf("server: %w", err)
+		}
+		dist, err := spec.Build(d, popts)
 		if err != nil {
 			return Result{}, fmt.Errorf("server: %w", err)
 		}
@@ -394,6 +402,7 @@ func (d *driver) beginMeasurement() {
 	}
 	d.net.ResetStats()
 	d.completed, d.aborted, d.assigned, d.forwarded = 0, 0, 0, 0
+	d.gossip = 0
 	d.connections, d.connReqs = 0, 0
 	d.latency = stats.NewHistogram()
 	d.buckets = nil
@@ -599,6 +608,7 @@ func (d *driver) result() Result {
 		Completed:       d.completed,
 		Aborted:         d.aborted,
 		ControlMessages: d.net.Messages(),
+		GossipMessages:  d.gossip,
 		SimTime:         elapsed,
 		Events:          d.eng.Fired(),
 	}
@@ -684,6 +694,7 @@ func (d *driver) SendControl(from, to int, onDeliver func()) {
 	if d.nodes[from].Failed() || d.nodes[to].Failed() {
 		return
 	}
+	d.gossip++
 	d.net.Send(d.nodes[from], d.nodes[to], 0.004, onDeliver)
 }
 
@@ -692,7 +703,20 @@ func (d *driver) BroadcastControl(from int, onDeliver func()) {
 	if d.nodes[from].Failed() {
 		return
 	}
-	d.net.Broadcast(d.nodes[from], d.nodes, 0.004, onDeliver)
+	d.gossip += uint64(d.net.Broadcast(d.nodes[from], d.nodes, 0.004, onDeliver))
 }
 
-var _ policy.Env = (*driver)(nil)
+// PairRateKBps implements policy.PairRater for proximity-aware dispatch:
+// the effective line rate between two nodes, or the uncapped configured
+// link bandwidth for a node talking to itself (no wire is crossed).
+func (d *driver) PairRateKBps(a, b int) float64 {
+	if a == b {
+		return d.net.Config().LinkKBps
+	}
+	return d.net.LinkRate(d.nodes[a], d.nodes[b])
+}
+
+var (
+	_ policy.Env       = (*driver)(nil)
+	_ policy.PairRater = (*driver)(nil)
+)
