@@ -9,6 +9,8 @@
 //	experiments -scale 0.05     # quick pass
 //	experiments -only figure8   # one experiment
 //	experiments -only chash     # web-scale consistent-hashing sweep (runs only when named)
+//	experiments -only churn     # shot-noise churn + diurnal study (runs only when named)
+//	experiments -only flash     # flash-crowd study (runs only when named)
 //	experiments -policy chash:vnodes=64,load=1.25,lard   # compare policy specs, then exit
 //	experiments -csv            # machine-readable figures
 //	experiments -progress       # report each finished simulation (and the
@@ -41,7 +43,7 @@ import (
 func main() {
 	var (
 		scale    = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
-		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency; chash — the web-scale consistent-hashing sweep — runs only when named explicitly)")
+		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency; chash, churn, and flash — the web-scale consistent-hashing sweep and the non-stationary workload studies — run only when named explicitly)")
 		profiles = flag.String("profiles", "", "per-node hardware spec, e.g. 4xfast:2.0/1.5/125000/64MB,12xslow:1.0/1.0/125000/32MB: run the weighted-policy comparison on that cluster, then exit")
 		policies = flag.String("policy", "", "comma-separated policy specs, e.g. chash:vnodes=64,load=1.25,lard:thigh=80: compare them on the clarknet workload, then exit")
 		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
@@ -128,6 +130,26 @@ func main() {
 		if *chart {
 			fmt.Println(fig.Chart(60, 16))
 		}
+		fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The non-stationary studies (shot-noise churn, diurnal load, flash
+	// crowds) likewise run only when named: they synthesize their own traces
+	// and instrument every run with a time-series recorder.
+	if strings.EqualFold(*only, "churn") {
+		start := time.Now()
+		_, text, err := experiments.ChurnStudy(pool, opts.Scale)
+		fatalIf(err)
+		fmt.Println(text)
+		fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if strings.EqualFold(*only, "flash") {
+		start := time.Now()
+		_, text, err := experiments.FlashStudy(pool, opts.Scale)
+		fatalIf(err)
+		fmt.Println(text)
 		fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}

@@ -8,6 +8,8 @@
 //	tracegen -characterize nasa.trace      # Table 2 statistics of a file
 //	tracegen -clf access.log -out real.trace
 //	tracegen -files 50000 -avgfile 30 -avgreq 15 -alpha 0.9 -requests 1e6 -out custom.trace
+//	tracegen -spec "churn:files=20000,filekb=16,reqs=500000,lifetime=10" -out churn.trace
+//	tracegen -spec "flash:files=8000,filekb=20,reqs=300000,reqkb=12,alpha=0.9" -out flash.trace
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list the paper trace specs")
+		specText = flag.String("spec", "", "generation spec, e.g. churn:files=20000,filekb=16,reqs=500000,lifetime=10 or clarknet:reqs=100000 (modes: stationary, churn, diurnal, flash)")
 		name     = flag.String("trace", "", "paper trace to generate (calgary, clarknet, nasa, rutgers)")
 		scale    = flag.Float64("scale", 1.0, "request-count scale factor")
 		out      = flag.String("out", "", "output trace file")
@@ -44,6 +47,17 @@ func main() {
 			fmt.Printf("%-10s %8d %10.1f %10d %9.1f %6.2f\n",
 				s.Name, s.Files, s.AvgFileKB, s.Requests, s.AvgReqKB, s.Alpha)
 		}
+	case *specText != "":
+		spec, err := trace.ParseGenSpec(*specText)
+		fatalIf(err)
+		if *scale != 1.0 {
+			spec = spec.Scaled(*scale)
+		}
+		fmt.Printf("spec: %s\n", spec.SpecString())
+		tr, err := trace.Generate(spec)
+		fatalIf(err)
+		printCharacteristics(tr)
+		writeOut(tr, *out)
 	case *charFile != "":
 		f, err := os.Open(*charFile)
 		fatalIf(err)

@@ -1,0 +1,211 @@
+package queuemodel
+
+import "math"
+
+// Shot-noise (cluster point process) LRU miss probability, after Olmos,
+// Graham & Simonian (Cache Miss Estimation for Non-Stationary Request
+// Processes, arXiv:1511.07392).
+//
+// Documents arrive as a Poisson process of rate gamma; a document of weight
+// V emits requests as an inhomogeneous Poisson process with intensity
+// V*exp(-a/L)/L at age a (mean lifetime L, expected total volume V). The
+// Che/characteristic-time approximation carries over to this non-stationary
+// input: a request at age a hits iff the same document was requested within
+// the last T time units, which for the document's own Poisson stream has
+// probability 1 - exp(-V*(H(a)-H(a-T))) with H the profile CDF
+// H(a) = 1 - exp(-a/L).
+//
+// For the exponential profile both per-document integrals reduce cleanly.
+// Writing q = H(T) = 1 - exp(-T/L):
+//
+//   misses per document  = (1 - exp(-V*q)) / q
+//   miss ratio           = E[(1 - exp(-V*q))/q] / E[V]
+//
+// (substitute u = H(a) on a <= T and w = exp(-a/L) on a > T; both pieces
+// integrate to (1 - exp(-V*q)) scaled by 1 and 1/(e^{T/L}-1), and their sum
+// telescopes to 1/q). The characteristic time T is fixed by the cache
+// occupancy constraint — the expected number of documents requested within
+// the last T equals the cache capacity x:
+//
+//   x = gamma * L * E[ I1(T/L, V) + Phi(V*q) ]
+//   I1(tau, V) = Int_0^tau (1 - exp(-V*(1-e^{-s}))) ds
+//   Phi(b)     = Int_0^1 (1 - e^{-b*w})/w dw = EulerGamma + ln b + E1(b)
+//
+// The weight law is either deterministic (WeightShape 0, the closed-form
+// case the conformance tests pin) or Pareto with mean MeanRequests
+// (WeightShape > 1), in which case the expectations are integrated
+// numerically over the weight distribution.
+//
+// Stationary limit: as L -> infinity with the per-document request rate
+// lambda = V/L held fixed, q -> T/L and the miss ratio of an equal-rate
+// population recovers the Che fixed-population result — the bridge to the
+// Ji/Quan/Tan reference of lru.go that the conformance suite asserts on
+// long-lifetime synthesized traces.
+
+// ShotNoise parameterizes the analytic model; fields mirror shotnoise.Spec.
+type ShotNoise struct {
+	DocRate      float64 // document arrival rate gamma (> 0)
+	MeanRequests float64 // E[V], expected requests per document (> 0)
+	Lifetime     float64 // mean of the exponential intensity profile (> 0)
+	WeightShape  float64 // 0: fixed weights; > 1: Pareto with mean MeanRequests
+}
+
+// valid reports whether the parameters are in the model's domain.
+func (s ShotNoise) valid() bool {
+	return s.DocRate > 0 && !math.IsInf(s.DocRate, 0) &&
+		s.MeanRequests > 0 && !math.IsInf(s.MeanRequests, 0) &&
+		s.Lifetime > 0 && !math.IsInf(s.Lifetime, 0) &&
+		(s.WeightShape == 0 || s.WeightShape > 1)
+}
+
+// RequestRate returns the long-run aggregate request rate gamma * E[V].
+func (s ShotNoise) RequestRate() float64 {
+	if !s.valid() {
+		return math.NaN()
+	}
+	return s.DocRate * s.MeanRequests
+}
+
+// CharacteristicTime solves the occupancy constraint for the Che
+// characteristic time T of an LRU cache holding x documents.
+func (s ShotNoise) CharacteristicTime(x float64) float64 {
+	if !s.valid() || !(x > 0) || math.IsInf(x, 0) {
+		return math.NaN()
+	}
+	occ := func(T float64) float64 { return s.occupancy(T) }
+	lo, hi := 0.0, s.Lifetime
+	for occ(hi) < x {
+		lo = hi
+		hi *= 2
+		if math.IsInf(hi, 0) {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if occ(mid) < x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LRUMiss returns the model's expected miss ratio for an LRU cache holding
+// x documents: E[(1-exp(-V*q))/q] / E[V] at the characteristic time fixed
+// by the occupancy constraint.
+func (s ShotNoise) LRUMiss(x float64) float64 {
+	T := s.CharacteristicTime(x)
+	if math.IsNaN(T) {
+		return math.NaN()
+	}
+	if math.IsInf(T, 1) {
+		T = math.MaxFloat64 // cache bigger than the whole stationary universe
+	}
+	q := -math.Expm1(-T / s.Lifetime)
+	miss := s.expectWeight(func(v float64) float64 {
+		return -math.Expm1(-v*q) / q
+	})
+	return math.Min(miss/s.MeanRequests, 1)
+}
+
+// occupancy returns the expected number of documents requested within the
+// last T time units — the cache contents under the Che approximation.
+func (s ShotNoise) occupancy(T float64) float64 {
+	if T <= 0 {
+		return 0
+	}
+	tau := T / s.Lifetime
+	q := -math.Expm1(-tau)
+	perDoc := s.expectWeight(func(v float64) float64 {
+		head := adaptiveSimpson(func(u float64) float64 {
+			return -math.Expm1(v * math.Expm1(-u)) // 1 - exp(-v*(1-e^-u))
+		}, 0, tau, 1e-8, 40)
+		return head + phi(v*q)
+	})
+	return s.DocRate * s.Lifetime * perDoc
+}
+
+// expectWeight integrates f over the weight law: a point mass for fixed
+// weights, or the Pareto(shape) law with mean MeanRequests via the
+// substitution V = xm * e^(y/shape), y ~ Exp(1).
+func (s ShotNoise) expectWeight(f func(v float64) float64) float64 {
+	if s.WeightShape == 0 {
+		return f(s.MeanRequests)
+	}
+	k := s.WeightShape
+	xm := s.MeanRequests * (k - 1) / k
+	return adaptiveSimpson(func(y float64) float64 {
+		return f(xm*math.Exp(y/k)) * math.Exp(-y)
+	}, 0, 40, 1e-8, 40)
+}
+
+// phi returns Int_0^1 (1 - e^{-b*w})/w dw = EulerGamma + ln(b) + E1(b).
+func phi(b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	if b <= 1 {
+		// Direct alternating series: sum (-1)^{k+1} b^k / (k * k!).
+		sum, term := 0.0, 1.0
+		for k := 1; k <= 30; k++ {
+			term *= b / float64(k)
+			add := term / float64(k)
+			if k%2 == 0 {
+				add = -add
+			}
+			sum += add
+			if term/float64(k) < 1e-17 {
+				break
+			}
+		}
+		return sum
+	}
+	const eulerGamma = 0.5772156649015328606
+	return eulerGamma + math.Log(b) + expintE1(b)
+}
+
+// expintE1 evaluates the exponential integral E1(x) for x > 1 by the
+// modified Lentz continued fraction (Numerical Recipes expint, n=1).
+func expintE1(x float64) float64 {
+	const tiny = 1e-300
+	b := x + 1
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 200; i++ {
+		a := -float64(i) * float64(i)
+		b += 2
+		d = 1 / (a*d + b)
+		c = b + a/c
+		del := c * d
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h * math.Exp(-x)
+}
+
+// adaptiveSimpson integrates f over [a, b] with the classic recursive
+// Simpson refinement to the given absolute tolerance.
+func adaptiveSimpson(f func(float64) float64, a, b, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := f(a), f(b), f(c)
+	s := (b - a) / 6 * (fa + 4*fc + fb)
+	return simpsonStep(f, a, b, fa, fb, fc, s, tol, depth)
+}
+
+func simpsonStep(f func(float64) float64, a, b, fa, fb, fc, whole, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	l, r := (a+c)/2, (c+b)/2
+	fl, fr := f(l), f(r)
+	left := (c - a) / 6 * (fa + 4*fl + fc)
+	right := (b - c) / 6 * (fc + 4*fr + fb)
+	if depth <= 0 || math.Abs(left+right-whole) < 15*tol {
+		return left + right + (left+right-whole)/15
+	}
+	return simpsonStep(f, a, c, fa, fc, fl, left, tol/2, depth-1) +
+		simpsonStep(f, c, b, fc, fb, fr, right, tol/2, depth-1)
+}

@@ -1,0 +1,184 @@
+package queuemodel
+
+import (
+	"container/list"
+	"math"
+	"testing"
+
+	"repro/internal/shotnoise"
+)
+
+func snFixed() ShotNoise {
+	return ShotNoise{DocRate: 25, MeanRequests: 50, Lifetime: 5}
+}
+
+func TestShotNoiseInvalid(t *testing.T) {
+	bad := []ShotNoise{
+		{},
+		{DocRate: -1, MeanRequests: 1, Lifetime: 1},
+		{DocRate: math.Inf(1), MeanRequests: 1, Lifetime: 1},
+		{DocRate: 1, MeanRequests: 0, Lifetime: 1},
+		{DocRate: 1, MeanRequests: 1, Lifetime: -2},
+		{DocRate: 1, MeanRequests: 1, Lifetime: 1, WeightShape: 0.8},
+		{DocRate: 1, MeanRequests: 1, Lifetime: 1, WeightShape: 1},
+	}
+	for i, s := range bad {
+		if !math.IsNaN(s.RequestRate()) {
+			t.Errorf("model %d: RequestRate accepted invalid params", i)
+		}
+		if !math.IsNaN(s.CharacteristicTime(100)) {
+			t.Errorf("model %d: CharacteristicTime accepted invalid params", i)
+		}
+		if !math.IsNaN(s.LRUMiss(100)) {
+			t.Errorf("model %d: LRUMiss accepted invalid params", i)
+		}
+	}
+	good := snFixed()
+	for _, x := range []float64{0, -5, math.Inf(1), math.NaN()} {
+		if !math.IsNaN(good.CharacteristicTime(x)) {
+			t.Errorf("CharacteristicTime(%v) accepted an out-of-domain cache size", x)
+		}
+	}
+}
+
+func TestShotNoiseRequestRate(t *testing.T) {
+	if got, want := snFixed().RequestRate(), 25.0*50.0; got != want {
+		t.Errorf("RequestRate = %v, want %v", got, want)
+	}
+}
+
+// TestShotNoiseOccupancyRoundTrip: the characteristic time must invert the
+// occupancy constraint — occ(T(x)) = x.
+func TestShotNoiseOccupancyRoundTrip(t *testing.T) {
+	for _, s := range []ShotNoise{snFixed(), {DocRate: 25, MeanRequests: 50, Lifetime: 5, WeightShape: 1.6}} {
+		for _, x := range []float64{10, 150, 1000} {
+			T := s.CharacteristicTime(x)
+			if !(T > 0) || math.IsInf(T, 0) {
+				t.Fatalf("CharacteristicTime(%v) = %v", x, T)
+			}
+			if got := s.occupancy(T); math.Abs(got-x)/x > 1e-6 {
+				t.Errorf("occ(T(%v)) = %v, want the cache size back", x, got)
+			}
+		}
+	}
+}
+
+// TestShotNoiseMissLimits: the miss ratio is 1 at a vanishing cache and
+// approaches the cold-miss floor (1-e^-V)/V — one compulsory miss per
+// document, V requests — as the cache outgrows the working set.
+func TestShotNoiseMissLimits(t *testing.T) {
+	s := snFixed()
+	if m := s.LRUMiss(1e-6); m < 0.999 {
+		t.Errorf("miss at a vanishing cache = %v, want ~1", m)
+	}
+	floor := -math.Expm1(-s.MeanRequests) / s.MeanRequests
+	m := s.LRUMiss(1e9)
+	if math.Abs(m-floor)/floor > 1e-3 {
+		t.Errorf("miss at a huge cache = %v, want the cold-miss floor %v", m, floor)
+	}
+}
+
+// TestShotNoiseMissMonotone: more cache never hurts.
+func TestShotNoiseMissMonotone(t *testing.T) {
+	for _, s := range []ShotNoise{snFixed(), {DocRate: 25, MeanRequests: 50, Lifetime: 5, WeightShape: 1.6}} {
+		prev := math.Inf(1)
+		for _, x := range []float64{5, 40, 320, 2560} {
+			m := s.LRUMiss(x)
+			if !(m >= 0 && m <= 1) {
+				t.Fatalf("LRUMiss(%v) = %v outside [0,1]", x, m)
+			}
+			if m > prev+1e-12 {
+				t.Errorf("LRUMiss(%v) = %v exceeds miss at the smaller cache %v", x, m, prev)
+			}
+			prev = m
+		}
+	}
+}
+
+// TestShotNoiseParetoApproachesFixed: as the Pareto shape grows the weight
+// law collapses onto its mean and the analytic must converge to the
+// fixed-weight closed form.
+func TestShotNoiseParetoApproachesFixed(t *testing.T) {
+	fixed := snFixed()
+	wide := fixed
+	wide.WeightShape = 200
+	for _, x := range []float64{50, 150, 400} {
+		a, b := fixed.LRUMiss(x), wide.LRUMiss(x)
+		if math.Abs(a-b)/a > 0.02 {
+			t.Errorf("cache %v: Pareto(shape 200) miss %v vs fixed-weight %v", x, b, a)
+		}
+	}
+}
+
+// TestPhi: the occupancy helper Phi(b) = EulerGamma + ln b + E1(b) — the
+// series and continued-fraction branches must agree at the crossover, the
+// small-b limit is b itself, and E1(1) matches the tabulated value.
+func TestPhi(t *testing.T) {
+	if got := phi(0); got != 0 {
+		t.Errorf("phi(0) = %v", got)
+	}
+	if got := phi(1e-8); math.Abs(got-1e-8)/1e-8 > 1e-6 {
+		t.Errorf("phi(b->0) = %v, want ~b", got)
+	}
+	// Continuity across the series/E1 crossover at b = 1.
+	lo, hi := phi(1-1e-9), phi(1+1e-9)
+	if math.Abs(lo-hi) > 1e-8 {
+		t.Errorf("phi discontinuous at b=1: %v vs %v", lo, hi)
+	}
+	// Abramowitz & Stegun 5.1.20: E1(1) = 0.2193839344...
+	if got, want := expintE1(1.0000001), 0.21938393439552026; math.Abs(got-want) > 1e-6 {
+		t.Errorf("E1(1) = %v, want %v", got, want)
+	}
+	if got := phi(50); math.Abs(got-(0.5772156649015329+math.Log(50))) > 1e-3 {
+		t.Errorf("phi(50) = %v, want ~EulerGamma+ln(50) (E1 negligible)", got)
+	}
+}
+
+// simulateLRUMiss replays a shot-noise realization through an exact LRU of C
+// documents and returns the observed miss ratio.
+func simulateLRUMiss(p *shotnoise.Process, c int) float64 {
+	pos := make(map[int32]*list.Element)
+	l := list.New()
+	misses := 0
+	for _, id := range p.DocOf {
+		if e, ok := pos[id]; ok {
+			l.MoveToFront(e)
+			continue
+		}
+		misses++
+		pos[id] = l.PushFront(id)
+		if l.Len() > c {
+			back := l.Back()
+			delete(pos, back.Value.(int32))
+			l.Remove(back)
+		}
+	}
+	return float64(misses) / float64(p.NumRequests())
+}
+
+// TestShotNoiseDifferential: the analytic against an exact LRU simulation of
+// one long realization. Fixed weights have a closed form and agree to ~1%;
+// Pareto weights (infinite variance at shape 1.6) get a loose band.
+func TestShotNoiseDifferential(t *testing.T) {
+	spec := shotnoise.Spec{Rate: 25, Horizon: 400, MeanRequests: 50, Lifetime: 5, Seed: 9}
+	s := ShotNoise{DocRate: spec.Rate, MeanRequests: spec.MeanRequests, Lifetime: spec.Lifetime}
+	p := shotnoise.MustGenerate(spec)
+	for _, c := range []int{50, 150, 400, 1000} {
+		sim := simulateLRUMiss(p, c)
+		analytic := s.LRUMiss(float64(c))
+		if rel := math.Abs(sim-analytic) / analytic; rel > 0.05 {
+			t.Errorf("cache %d: simulated miss %v vs analytic %v (rel %.3f > 0.05)", c, sim, analytic, rel)
+		}
+	}
+
+	spec.WeightShape = 1.6
+	s.WeightShape = 1.6
+	p = shotnoise.MustGenerate(spec)
+	for _, c := range []int{150, 400} {
+		sim := simulateLRUMiss(p, c)
+		analytic := s.LRUMiss(float64(c))
+		if rel := math.Abs(sim-analytic) / analytic; rel > 0.25 {
+			t.Errorf("pareto cache %d: simulated miss %v vs analytic %v (rel %.3f > 0.25)", c, sim, analytic, rel)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -87,6 +88,15 @@ type Config struct {
 	ArrivalRate float64
 	// ArrivalSeed seeds the Poisson process.
 	ArrivalSeed int64
+
+	// ArrivalSchedule, when non-empty, switches to an open-loop
+	// inhomogeneous Poisson process with this piecewise-constant rate
+	// profile (in requests per second, segment durations in seconds). The
+	// schedule cycles when the trace outlasts it, so one diurnal period
+	// describes an arbitrarily long run. Mutually exclusive with
+	// ArrivalRate; DiurnalSchedule builds the sinusoidal profile of the
+	// trace package's diurnal mode.
+	ArrivalSchedule []RateSegment
 
 	// WarmFraction is the fraction of the trace used to warm caches before
 	// measurement begins, mirroring the paper's warm-up pass.
@@ -215,6 +225,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("server: persistent connections need ReqsPerConn >= 1, got %v", c.ReqsPerConn)
 	case c.ArrivalRate < 0:
 		return fmt.Errorf("server: negative arrival rate %v", c.ArrivalRate)
+	case c.ArrivalRate > 0 && len(c.ArrivalSchedule) > 0:
+		return fmt.Errorf("server: ArrivalRate and ArrivalSchedule are mutually exclusive")
+	}
+	if len(c.ArrivalSchedule) > 0 {
+		anyPositive := false
+		for i, seg := range c.ArrivalSchedule {
+			if !(seg.Duration > 0) || math.IsInf(seg.Duration, 0) {
+				return fmt.Errorf("server: arrival segment %d duration %v must be positive and finite", i, seg.Duration)
+			}
+			if seg.Rate < 0 || math.IsInf(seg.Rate, 0) || math.IsNaN(seg.Rate) {
+				return fmt.Errorf("server: arrival segment %d rate %v must be finite and >= 0", i, seg.Rate)
+			}
+			anyPositive = anyPositive || seg.Rate > 0
+		}
+		if !anyPositive {
+			return fmt.Errorf("server: arrival schedule has no positive-rate segment")
+		}
 	}
 	if c.CPUSpeeds != nil && c.Profiles == nil {
 		if len(c.CPUSpeeds) != c.Nodes {

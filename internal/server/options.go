@@ -82,6 +82,13 @@ func WithArrivalRate(rate float64) Option {
 	return func(c *Config) { c.ArrivalRate = rate }
 }
 
+// WithArrivalSchedule switches to an open-loop inhomogeneous Poisson
+// process with the given piecewise-constant rate profile (cycled over the
+// run); see DiurnalSchedule for the sinusoidal profile of diurnal mode.
+func WithArrivalSchedule(sched []RateSegment) Option {
+	return func(c *Config) { c.ArrivalSchedule = sched }
+}
+
 // WithPersistent enables HTTP/1.1-style persistent connections with the
 // given mean requests per connection.
 func WithPersistent(reqsPerConn float64) Option {

@@ -55,10 +55,14 @@ type driver struct {
 	connections uint64
 	connReqs    uint64
 
-	// Open-loop arrival state.
-	openLoop   bool
-	arrivalRNG *rand.Rand
-	arrivalFn  func() // pre-bound inject-and-reschedule callback
+	// Open-loop arrival state. A non-empty schedule replaces the constant
+	// ArrivalRate with a piecewise-constant profile; schedIdx/schedRemain
+	// track the position inside the (cycling) schedule.
+	openLoop    bool
+	arrivalRNG  *rand.Rand
+	arrivalFn   func() // pre-bound inject-and-reschedule callback
+	schedIdx    int
+	schedRemain float64
 
 	// Timeline buckets (completions per TimelineBucket interval).
 	buckets []uint64
@@ -336,11 +340,14 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 		d.beginMeasurement()
 	}
 
-	if cfg.ArrivalRate > 0 {
-		// Open loop: Poisson arrivals at the offered rate, independent of
-		// completions.
+	if cfg.ArrivalRate > 0 || len(cfg.ArrivalSchedule) > 0 {
+		// Open loop: Poisson arrivals at the offered rate (constant, or the
+		// piecewise-constant schedule), independent of completions.
 		d.openLoop = true
 		d.arrivalRNG = rand.New(rand.NewSource(cfg.ArrivalSeed + 7))
+		if len(cfg.ArrivalSchedule) > 0 {
+			d.schedRemain = cfg.ArrivalSchedule[0].Duration
+		}
 		d.scheduleArrival()
 	} else {
 		// Closed loop at saturation: prime the connection window; every
@@ -367,8 +374,35 @@ func (d *driver) scheduleArrival() {
 			d.scheduleArrival()
 		}
 	}
-	gap := d.arrivalRNG.ExpFloat64() / d.cfg.ArrivalRate
-	d.eng.Schedule(gap, d.arrivalFn)
+	d.eng.Schedule(d.nextArrivalGap(), d.arrivalFn)
+}
+
+// nextArrivalGap draws the time to the next open-loop arrival. With a
+// constant rate this is one exponential; with a schedule it walks a
+// unit-rate exponential across the piecewise-constant profile (the standard
+// inversion for an inhomogeneous Poisson process), cycling the schedule so
+// a one-period profile covers any run length. Zero-rate segments absorb no
+// work and are skipped whole.
+func (d *driver) nextArrivalGap() float64 {
+	sched := d.cfg.ArrivalSchedule
+	if len(sched) == 0 {
+		return d.arrivalRNG.ExpFloat64() / d.cfg.ArrivalRate
+	}
+	e := d.arrivalRNG.ExpFloat64() // unit-rate exponential "work"
+	gap := 0.0
+	for {
+		seg := sched[d.schedIdx]
+		if seg.Rate > 0 {
+			if need := e / seg.Rate; need <= d.schedRemain {
+				d.schedRemain -= need
+				return gap + need
+			}
+			e -= d.schedRemain * seg.Rate
+		}
+		gap += d.schedRemain
+		d.schedIdx = (d.schedIdx + 1) % len(sched)
+		d.schedRemain = sched[d.schedIdx].Duration
+	}
 }
 
 // inject starts the next trace request (or, in persistent mode, the next

@@ -1,0 +1,34 @@
+package server
+
+import "math"
+
+// RateSegment is one piece of a piecewise-constant open-loop arrival
+// profile: Rate requests per second offered for Duration seconds. A zero
+// Rate is a silent interval (a nightly trough); the schedule as a whole
+// must offer some traffic.
+type RateSegment struct {
+	Duration float64
+	Rate     float64
+}
+
+// DiurnalSchedule builds a sinusoidal arrival profile — the open-loop
+// realization of the trace package's diurnal mode: segments slices of one
+// period of mean*(1 + relAmp*sin) sampled at each slice midpoint. The
+// driver cycles the schedule, so one period describes any run length.
+// relAmp must lie in [0, 1): the trough rate stays positive, which keeps
+// every segment's expected arrival count nonzero.
+func DiurnalSchedule(mean, relAmp, period float64, segments int) []RateSegment {
+	if !(mean > 0) || relAmp < 0 || relAmp >= 1 || !(period > 0) || segments < 1 {
+		return nil
+	}
+	sched := make([]RateSegment, segments)
+	dur := period / float64(segments)
+	for i := range sched {
+		mid := (float64(i) + 0.5) / float64(segments)
+		sched[i] = RateSegment{
+			Duration: dur,
+			Rate:     mean * (1 + relAmp*math.Sin(2*math.Pi*mid)),
+		}
+	}
+	return sched
+}

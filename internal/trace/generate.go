@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cache"
+	"repro/internal/shotnoise"
 	"repro/internal/zipf"
 )
 
@@ -52,12 +53,51 @@ type GenSpec struct {
 	Clients     int
 	ClientAlpha float64
 
+	// Mode selects the synthesis family. "" (or "stationary") is the fixed
+	// Zipf catalog above. "churn" rotates the hot set under the shot-noise
+	// popularity model of internal/shotnoise (Olmos/Graham/Simonian).
+	// "diurnal" keeps the stationary content but records a sinusoidal
+	// arrival-rate shape for open-loop runs (server.DiurnalSchedule consumes
+	// it). "flash" overlays a flash crowd on the stationary stream: one cold
+	// file spikes to a large traffic fraction for a bounded window, then
+	// decays. Stationary specs never read the fields below and stay
+	// byte-identical across this extension (golden_test.go pins them).
+	Mode string
+
+	// Shot-noise churn (Mode "churn"), in trace time units. The catalog is
+	// the realized document population (capped at Files); AvgReqKB, the
+	// locality knobs, and HeadBoost do not apply — the model supplies its
+	// own temporal structure.
+	Horizon     float64 // synthesis window (default 400)
+	DocRate     float64 // document arrivals per time unit (default 0.9*Files/Horizon)
+	DocLifetime float64 // mean intensity lifetime (default Horizon/20)
+	DocMeanReqs float64 // E[V] requests per document (default: sized to Requests)
+	WeightShape float64 // 0: fixed document weights; > 1: Pareto with mean DocMeanReqs
+
+	// Diurnal rate shape (Mode "diurnal"); the request content is exactly
+	// the stationary stream — only the open-loop arrival rate varies.
+	DiurnalAmp     float64 // relative amplitude in (0,1) (default 0.5)
+	DiurnalPeriods float64 // full sine periods across the run (default 2)
+
+	// Flash crowd (Mode "flash"): a file absent from the stationary catalog
+	// captures FlashFrac of traffic from FlashStart for FlashDur (fractions
+	// of the request stream), then decays exponentially.
+	FlashStart float64 // window start as a fraction of the stream (default 0.4)
+	FlashDur   float64 // plateau length as a fraction of the stream (default 0.15)
+	FlashFrac  float64 // peak traffic fraction captured (default 0.6)
+
 	Seed int64
 }
 
 func (s GenSpec) withDefaults() GenSpec {
 	if s.SizeSigma == 0 {
 		s.SizeSigma = 1.0
+	}
+	// A spec without a mean request size gets the catalog mean: requests
+	// sized like the files they hit, no size-popularity correlation. (The
+	// churn generator sizes files itself and never reads AvgReqKB.)
+	if s.AvgReqKB == 0 && s.Mode != ModeChurn {
+		s.AvgReqKB = s.AvgFileKB
 	}
 	if s.LocalityDepth == 0 {
 		s.LocalityDepth = 1000
@@ -70,6 +110,35 @@ func (s GenSpec) withDefaults() GenSpec {
 	}
 	if s.ClientAlpha == 0 {
 		s.ClientAlpha = 1
+	}
+	switch s.Mode {
+	case ModeChurn:
+		if s.Horizon == 0 {
+			s.Horizon = 400
+		}
+		if s.DocRate == 0 && s.Files > 0 && s.Horizon > 0 {
+			s.DocRate = 0.9 * float64(s.Files) / s.Horizon
+		}
+		if s.DocLifetime == 0 {
+			s.DocLifetime = s.Horizon / 20
+		}
+	case ModeDiurnal:
+		if s.DiurnalAmp == 0 {
+			s.DiurnalAmp = 0.5
+		}
+		if s.DiurnalPeriods == 0 {
+			s.DiurnalPeriods = 2
+		}
+	case ModeFlash:
+		if s.FlashStart == 0 {
+			s.FlashStart = 0.4
+		}
+		if s.FlashDur == 0 {
+			s.FlashDur = 0.15
+		}
+		if s.FlashFrac == 0 {
+			s.FlashFrac = 0.6
+		}
 	}
 	return s
 }
@@ -114,7 +183,16 @@ func PaperTrace(name string) (GenSpec, error) {
 	return GenSpec{}, fmt.Errorf("trace: unknown paper trace %q", name)
 }
 
-// Generate synthesizes a trace matching the spec:
+// The synthesis modes of GenSpec.Mode. ModeStationary is the zero value, so
+// every pre-existing spec is stationary by construction.
+const (
+	ModeStationary = ""
+	ModeChurn      = "churn"
+	ModeDiurnal    = "diurnal"
+	ModeFlash      = "flash"
+)
+
+// Generate synthesizes a trace matching the spec. In the stationary mode:
 //
 //   - popularity follows a Zipf-like law with the requested alpha;
 //   - file sizes follow size(rank i) = A * i^beta * lognormal noise, with A
@@ -123,6 +201,10 @@ func PaperTrace(name string) (GenSpec, error) {
 //     empirical fact that popular files are smaller);
 //   - with probability LocalityP a request re-references a recent request
 //     (temporal locality), otherwise it samples the Zipf law.
+//
+// ModeDiurnal generates the identical stationary content (the rate shape
+// only affects open-loop timing); ModeChurn synthesizes a shot-noise
+// process; ModeFlash overlays a flash crowd on the stationary stream.
 func Generate(spec GenSpec) (*Trace, error) {
 	spec = spec.withDefaults()
 	if spec.Files < 1 {
@@ -131,7 +213,33 @@ func Generate(spec GenSpec) (*Trace, error) {
 	if spec.Requests < 1 {
 		return nil, fmt.Errorf("trace %s: need at least one request", spec.Name)
 	}
-	if spec.AvgFileKB <= 0 || spec.AvgReqKB <= 0 {
+	if spec.AvgFileKB <= 0 {
+		return nil, fmt.Errorf("trace %s: sizes must be positive", spec.Name)
+	}
+	switch spec.Mode {
+	case ModeStationary:
+		return generateStationary(spec)
+	case ModeChurn:
+		return generateChurn(spec)
+	case ModeDiurnal:
+		if !(spec.DiurnalAmp > 0 && spec.DiurnalAmp < 1) {
+			return nil, fmt.Errorf("trace %s: diurnal amplitude %v must be in (0,1)", spec.Name, spec.DiurnalAmp)
+		}
+		if !(spec.DiurnalPeriods > 0) || math.IsInf(spec.DiurnalPeriods, 0) {
+			return nil, fmt.Errorf("trace %s: diurnal periods %v must be positive and finite", spec.Name, spec.DiurnalPeriods)
+		}
+		return generateStationary(spec)
+	case ModeFlash:
+		return generateFlash(spec)
+	default:
+		return nil, fmt.Errorf("trace %s: unknown mode %q (valid: stationary, churn, diurnal, flash)", spec.Name, spec.Mode)
+	}
+}
+
+// generateStationary is the original fixed-catalog Zipf generator. Its RNG
+// draw sequence is pinned by golden_test.go and must never change.
+func generateStationary(spec GenSpec) (*Trace, error) {
+	if spec.AvgReqKB <= 0 {
 		return nil, fmt.Errorf("trace %s: sizes must be positive", spec.Name)
 	}
 	if spec.LocalityP < 0 || spec.LocalityP >= 1 {
@@ -222,6 +330,120 @@ func Generate(spec GenSpec) (*Trace, error) {
 	return t, nil
 }
 
+// generateChurn synthesizes a shot-noise trace: documents arrive over the
+// horizon (capped at Files), each emitting requests at an exponentially
+// decaying intensity, and the time-ordered stream is truncated to the first
+// Requests entries. DocMeanReqs defaults to the volume that makes the
+// expected realization ~15% longer than Requests, so truncation succeeds
+// with margin; a realization that still comes up short is an error, not a
+// silent short trace.
+func generateChurn(spec GenSpec) (*Trace, error) {
+	if spec.LocalityP != 0 || spec.HeadBoost != 0 {
+		return nil, fmt.Errorf("trace %s: locality and head-boost do not apply to churn mode", spec.Name)
+	}
+	meanReqs := spec.DocMeanReqs
+	if meanReqs == 0 {
+		if !(spec.DocRate > 0) || !(spec.Horizon > 0) || !(spec.DocLifetime > 0) {
+			return nil, fmt.Errorf("trace %s: churn mode needs positive docrate, horizon, lifetime", spec.Name)
+		}
+		// Expected in-window requests per unit weight:
+		// Int_0^W (1 - e^{-(W-t)/L}) dt = W - L*(1 - e^{-W/L}).
+		eff := spec.Horizon + spec.DocLifetime*math.Expm1(-spec.Horizon/spec.DocLifetime)
+		meanReqs = 1.15 * float64(spec.Requests) / (spec.DocRate * eff)
+	}
+	proc, err := shotnoise.Generate(shotnoise.Spec{
+		Rate:         spec.DocRate,
+		Horizon:      spec.Horizon,
+		MeanRequests: meanReqs,
+		Lifetime:     spec.DocLifetime,
+		WeightShape:  spec.WeightShape,
+		MaxDocs:      spec.Files,
+		Seed:         spec.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace %s: %w", spec.Name, err)
+	}
+	if proc.NumRequests() < spec.Requests {
+		return nil, fmt.Errorf("trace %s: shot-noise realization has %d requests, need %d (raise docreqs, docrate, or horizon)",
+			spec.Name, proc.NumRequests(), spec.Requests)
+	}
+
+	// Catalog: one file per realized document, lognormal sizes around the
+	// mean. Size-rank correlation has no meaning when ranks churn, so
+	// AvgReqKB is not consumed here.
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	sizes := make([]int64, len(proc.Docs))
+	for i := range sizes {
+		noise := math.Exp(spec.SizeSigma*rng.NormFloat64() - spec.SizeSigma*spec.SizeSigma/2)
+		sz := int64(math.Round(noise * spec.AvgFileKB * 1024))
+		if sz < 64 {
+			sz = 64
+		}
+		sizes[i] = sz
+	}
+
+	reqs := make([]cache.FileID, spec.Requests)
+	for k := range reqs {
+		reqs[k] = cache.FileID(proc.DocOf[k])
+	}
+	t := &Trace{Name: spec.Name, Alpha: spec.Alpha, Sizes: sizes, Requests: reqs}
+	attachClients(t, spec, rng)
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// generateFlash generates the stationary stream with identical draws, then
+// overlays the crowd: one appended cold file captures FlashFrac of requests
+// over the plateau window and an exponential tail after it. The overlay
+// consumes a separate RNG stream, so the underlying stationary content is
+// the exact byte-identical stationary trace.
+func generateFlash(spec GenSpec) (*Trace, error) {
+	if !(spec.FlashFrac > 0 && spec.FlashFrac < 1) {
+		return nil, fmt.Errorf("trace %s: flash fraction %v must be in (0,1)", spec.Name, spec.FlashFrac)
+	}
+	if spec.FlashStart < 0 || spec.FlashStart >= 1 {
+		return nil, fmt.Errorf("trace %s: flash start %v must be in [0,1)", spec.Name, spec.FlashStart)
+	}
+	if !(spec.FlashDur > 0) || spec.FlashStart+spec.FlashDur > 1 {
+		return nil, fmt.Errorf("trace %s: flash window [%v, %v+%v] must fit in [0,1]",
+			spec.Name, spec.FlashStart, spec.FlashStart, spec.FlashDur)
+	}
+	t, err := generateStationary(spec)
+	if err != nil {
+		return nil, err
+	}
+	flashID := cache.FileID(len(t.Sizes))
+	t.Sizes = append(t.Sizes, int64(math.Round(spec.AvgFileKB*1024)))
+
+	frng := rand.New(rand.NewSource(spec.Seed + 101))
+	n := len(t.Requests)
+	start := int(spec.FlashStart * float64(n))
+	dur := int(spec.FlashDur * float64(n))
+	if dur < 1 {
+		dur = 1
+	}
+	end := start + dur
+	tail := float64(dur) / 3
+	for k := start; k < n; k++ {
+		p := spec.FlashFrac
+		if k >= end {
+			p *= math.Exp(-float64(k-end) / tail)
+			if p < 1e-3 {
+				break
+			}
+		}
+		if frng.Float64() < p {
+			t.Requests[k] = flashID
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // MustGenerate is Generate for specs known valid at compile time.
 func MustGenerate(spec GenSpec) *Trace {
 	t, err := Generate(spec)
@@ -229,6 +451,22 @@ func MustGenerate(spec GenSpec) *Trace {
 		panic(err)
 	}
 	return t
+}
+
+// attachClients tags the trace's requests with Zipf-distributed client
+// identities when the spec asks for them. The stationary generator keeps
+// its historical inline equivalent (its draw order is golden-pinned); this
+// helper serves the non-stationary modes.
+func attachClients(t *Trace, spec GenSpec, rng *rand.Rand) {
+	if spec.Clients <= 0 {
+		return
+	}
+	cdist := zipf.New(spec.ClientAlpha, int64(spec.Clients))
+	clients := make([]int32, len(t.Requests))
+	for k := range clients {
+		clients[k] = int32(cdist.Sample(rng) - 1)
+	}
+	t.Clients = clients
 }
 
 // solveBeta finds the size-rank exponent beta such that the ratio of the

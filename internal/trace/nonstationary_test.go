@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func churnSpec() GenSpec {
+	return GenSpec{Name: "churn-test", Mode: ModeChurn, Files: 4000, AvgFileKB: 16,
+		Requests: 60000, Horizon: 200, DocLifetime: 8, Seed: 31}
+}
+
+func flashSpec() GenSpec {
+	return GenSpec{Name: "flash-test", Mode: ModeFlash, Files: 2000, AvgFileKB: 20,
+		Requests: 50000, AvgReqKB: 12, Alpha: 0.9, LocalityP: 0.2,
+		FlashStart: 0.4, FlashDur: 0.15, FlashFrac: 0.6, Seed: 33}
+}
+
+// TestChurnGenerate: the realization validates, fills the request budget,
+// references a bounded catalog, and is deterministic in the seed.
+func TestChurnGenerate(t *testing.T) {
+	for _, spec := range []GenSpec{
+		churnSpec(),
+		{Mode: ModeChurn, Files: 1000, AvgFileKB: 8, Requests: 20000, Seed: 5}, // all-default knobs
+		{Mode: ModeChurn, Files: 2000, AvgFileKB: 8, Requests: 20000,
+			Horizon: 100, DocRate: 18, DocLifetime: 4, WeightShape: 1.6, Seed: 6},
+		{Mode: ModeChurn, Files: 500, AvgFileKB: 8, Requests: 5000, Clients: 100, Seed: 7},
+	} {
+		tr, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("%+v: %v", spec, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("churn trace invalid: %v", err)
+		}
+		if len(tr.Requests) != spec.Requests {
+			t.Errorf("got %d requests, want %d", len(tr.Requests), spec.Requests)
+		}
+		if len(tr.Sizes) > spec.Files {
+			t.Errorf("catalog %d exceeds the Files cap %d", len(tr.Sizes), spec.Files)
+		}
+		if spec.Clients > 0 && len(tr.Clients) != spec.Requests {
+			t.Errorf("got %d client tags, want %d", len(tr.Clients), spec.Requests)
+		}
+		again := MustGenerate(spec)
+		if !reflect.DeepEqual(tr, again) {
+			t.Error("same churn spec generated different traces")
+		}
+	}
+}
+
+// TestChurnRotatesHotSet: the defining non-stationary property — the most
+// popular documents of the first quarter and the last quarter of the stream
+// barely overlap, where a stationary Zipf trace keeps the same head.
+func TestChurnRotatesHotSet(t *testing.T) {
+	tr := MustGenerate(churnSpec())
+	n := len(tr.Requests)
+	head := func(part []cache.FileID) map[cache.FileID]bool {
+		counts := make(map[cache.FileID]int)
+		for _, id := range part {
+			counts[id]++
+		}
+		top := make(map[cache.FileID]bool)
+		for k := 0; k < 20; k++ {
+			var best cache.FileID = -1
+			for id, c := range counts {
+				if !top[id] && (best < 0 || c > counts[best]) {
+					best = id
+				}
+			}
+			top[best] = true
+		}
+		return top
+	}
+	early := head(tr.Requests[:n/4])
+	late := head(tr.Requests[3*n/4:])
+	overlap := 0
+	for id := range early {
+		if late[id] {
+			overlap++
+		}
+	}
+	if overlap > 5 {
+		t.Errorf("hot sets overlap in %d of 20 top documents; churn should rotate them", overlap)
+	}
+}
+
+// TestChurnErrors: churn-mode validation failures.
+func TestChurnErrors(t *testing.T) {
+	bad := []GenSpec{
+		func() GenSpec { s := churnSpec(); s.LocalityP = 0.3; return s }(),
+		func() GenSpec { s := churnSpec(); s.HeadBoost = 0.2; return s }(),
+		// A tiny explicit per-document volume cannot fill the request budget.
+		func() GenSpec { s := churnSpec(); s.DocMeanReqs = 0.001; return s }(),
+		{Mode: ModeChurn, Files: 100, AvgFileKB: 8, Requests: 100, WeightShape: 0.5},
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("churn spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestFlashGenerate: the flash file is the appended catalog entry, absent
+// before the window, near the target fraction inside it, and decaying after;
+// the stream before the window is byte-identical to the stationary stream.
+func TestFlashGenerate(t *testing.T) {
+	spec := flashSpec()
+	tr := MustGenerate(spec)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stationary := spec
+	stationary.Mode = ModeStationary
+	stationary.FlashStart, stationary.FlashDur, stationary.FlashFrac = 0, 0, 0
+	base := MustGenerate(stationary)
+
+	if len(tr.Sizes) != len(base.Sizes)+1 {
+		t.Fatalf("flash catalog has %d files, want stationary+1 = %d", len(tr.Sizes), len(base.Sizes)+1)
+	}
+	flashID := cache.FileID(len(base.Sizes))
+	n := len(tr.Requests)
+	start := int(spec.FlashStart * float64(n))
+	end := start + int(spec.FlashDur*float64(n))
+
+	if !reflect.DeepEqual(tr.Requests[:start], base.Requests[:start]) {
+		t.Error("pre-flash stream differs from the stationary stream")
+	}
+	frac := func(lo, hi int) float64 {
+		hits := 0
+		for _, id := range tr.Requests[lo:hi] {
+			if id == flashID {
+				hits++
+			}
+		}
+		return float64(hits) / float64(hi-lo)
+	}
+	if f := frac(0, start); f != 0 {
+		t.Errorf("flash file requested before its window (frac %v)", f)
+	}
+	if f := frac(start, end); f < spec.FlashFrac-0.05 || f > spec.FlashFrac+0.05 {
+		t.Errorf("in-window flash fraction %v, want ~%v", f, spec.FlashFrac)
+	}
+	tailEnd := end + (end-start)*3
+	if f := frac(end, tailEnd); f >= spec.FlashFrac/2 {
+		t.Errorf("post-window flash fraction %v did not decay", f)
+	}
+	if f := frac(tailEnd, n); f > 0.02 {
+		t.Errorf("late-stream flash fraction %v, want ~0", f)
+	}
+	if !reflect.DeepEqual(tr, MustGenerate(spec)) {
+		t.Error("same flash spec generated different traces")
+	}
+}
+
+func TestFlashErrors(t *testing.T) {
+	bad := []GenSpec{
+		func() GenSpec { s := flashSpec(); s.FlashFrac = 1; return s }(),
+		func() GenSpec { s := flashSpec(); s.FlashStart = 1; return s }(),
+		func() GenSpec { s := flashSpec(); s.FlashStart = 0.9; s.FlashDur = 0.2; return s }(),
+		func() GenSpec { s := flashSpec(); s.FlashDur = -1; return s }(),
+	}
+	for i, s := range bad {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("flash spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestDiurnalGenerate: diurnal mode is the stationary content verbatim —
+// only the arrival-rate shape (consumed by open-loop runs) differs.
+func TestDiurnalGenerate(t *testing.T) {
+	spec := GenSpec{Name: "d", Mode: ModeDiurnal, Files: 1000, AvgFileKB: 20,
+		Requests: 5000, AvgReqKB: 12, Alpha: 0.9, DiurnalAmp: 0.5, DiurnalPeriods: 2, Seed: 9}
+	tr := MustGenerate(spec)
+	stationary := spec
+	stationary.Mode = ModeStationary
+	stationary.DiurnalAmp, stationary.DiurnalPeriods = 0, 0
+	if !reflect.DeepEqual(tr, MustGenerate(stationary)) {
+		t.Error("diurnal content differs from the stationary stream")
+	}
+	for i, s := range []GenSpec{
+		func() GenSpec { s := spec; s.DiurnalAmp = 1.5; return s }(),
+		func() GenSpec { s := spec; s.DiurnalPeriods = -2; return s }(),
+	} {
+		if _, err := Generate(s); err == nil {
+			t.Errorf("diurnal spec %d accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestUnknownModeError(t *testing.T) {
+	if _, err := Generate(GenSpec{Mode: "wavelet", Files: 10, AvgFileKB: 1, Requests: 10}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
