@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json bench-check bench-scale bench-scale-headline bench-scale-check cover fuzz
+.PHONY: all build test check race chaos fmt vet bench bench-hot bench-json bench-check bench-scale bench-scale-headline bench-scale-check bench-scale-counts cover fuzz profile
 
 all: build
 
@@ -77,6 +77,22 @@ bench-scale-headline:
 # regressions wall-clock noise would hide.
 bench-scale-check:
 	$(GO) run ./cmd/benchjson -scale-compare BENCH_scale.json
+
+# bench-scale-counts reruns the grid and fails on ANY change in the
+# deterministic event/message/gossip counts, skipping the ns/request and
+# bytes/node tolerances entirely: it is noise-free and safe to run as a
+# blocking CI gate on shared hardware where wall-clock checks flake.
+bench-scale-counts:
+	$(GO) run ./cmd/benchjson -scale-compare BENCH_scale.json -counts-only
+
+# profile captures pprof CPU and heap profiles of a representative
+# large-cluster run (N=1024 L2S over the clarknet workload): the input the
+# hot-path optimization passes are tuned against. Inspect with
+# `go tool pprof cpu.prof`.
+profile: build
+	$(GO) run ./cmd/clustersim -system l2s -trace clarknet -nodes 1024 -scale 1 \
+		-cpuprofile cpu.prof -memprofile mem.prof > /dev/null
+	@echo "profile: wrote cpu.prof and mem.prof"
 
 # cover enforces a per-package statement-coverage floor on the model and
 # infrastructure packages (commands are exercised end to end, not unit by

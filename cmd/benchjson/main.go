@@ -80,10 +80,11 @@ func main() {
 	scaleCompare := flag.String("scale-compare", "", "rerun the scaling grid and check it against this baseline (exit 1 on regression)")
 	headline := flag.Bool("headline", false, "with -scale, also rerun the 10^8-request headline point")
 	scaleTolerance := flag.Float64("scale-tolerance", 0.25, "allowed fractional regression in -scale-compare mode")
+	countsOnly := flag.Bool("counts-only", false, "with -scale-compare, check only the deterministic event/message/gossip counts (skip the noisy ns/request and bytes/node tolerances)")
 	flag.Parse()
 
 	if *scale != "" || *scaleCompare != "" {
-		os.Exit(runScale(*scale, *scaleCompare, *headline, *scaleTolerance))
+		os.Exit(runScale(*scale, *scaleCompare, *headline, *scaleTolerance, *countsOnly))
 	}
 
 	entries := make(map[string]Entry)
@@ -123,8 +124,10 @@ func main() {
 // point and writes the file; compare mode (comparePath != "") measures the
 // grid and checks it against the committed baseline. The headline point is
 // only ever measured in write mode with -headline; otherwise a prior entry
-// is preserved (write) or skipped (compare).
-func runScale(path, comparePath string, headline bool, tolerance float64) int {
+// is preserved (write) or skipped (compare). countsOnly restricts compare
+// mode to the deterministic counters, making it safe as a blocking gate on
+// hardware where wall-clock tolerances flake.
+func runScale(path, comparePath string, headline bool, tolerance float64, countsOnly bool) int {
 	prior := make(map[string]perf.ScaleResult)
 	priorPath := path
 	if comparePath != "" {
@@ -161,15 +164,20 @@ func runScale(path, comparePath string, headline bool, tolerance float64) int {
 		fmt.Fprintf(os.Stderr, "bench-scale: %-26s %10.0f ns/req %12d B/node %8.2fs wall\n",
 			p.Name, res.NsPerRequest, res.BytesPerNode, res.WallSec)
 		if comparePath != "" {
-			status |= compareScalePoint(p.Name, res, prior, tolerance)
+			status |= compareScalePoint(p.Name, res, prior, tolerance, countsOnly)
 		}
 	}
 	perf.DropScaleTraces()
 
 	if comparePath != "" {
-		if status != 0 {
+		switch {
+		case status != 0 && countsOnly:
+			fmt.Fprintln(os.Stderr, "bench-scale-check: FAILED (count determinism)")
+		case status != 0:
 			fmt.Fprintf(os.Stderr, "bench-scale-check: FAILED (tolerance %.0f%%)\n", tolerance*100)
-		} else {
+		case countsOnly:
+			fmt.Fprintf(os.Stderr, "bench-scale-check: all grid-point counts match %s\n", comparePath)
+		default:
 			fmt.Fprintf(os.Stderr, "bench-scale-check: all grid points within %.0f%% of %s\n", tolerance*100, comparePath)
 		}
 		return status
@@ -179,9 +187,10 @@ func runScale(path, comparePath string, headline bool, tolerance float64) int {
 }
 
 // compareScalePoint checks one measured grid point against the baseline:
-// ns/request and bytes/node within tolerance, event and message counts
-// exactly equal (they are deterministic for a given simulator version).
-func compareScalePoint(name string, cur perf.ScaleResult, baseline map[string]perf.ScaleResult, tolerance float64) int {
+// ns/request and bytes/node within tolerance (skipped when countsOnly),
+// event, message, and gossip counts exactly equal (they are deterministic
+// for a given simulator version).
+func compareScalePoint(name string, cur perf.ScaleResult, baseline map[string]perf.ScaleResult, tolerance float64, countsOnly bool) int {
 	base, ok := baseline[name]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s new (no baseline entry)\n", name)
@@ -192,6 +201,9 @@ func compareScalePoint(name string, cur perf.ScaleResult, baseline map[string]pe
 		fmt.Fprintf(os.Stderr, "bench-scale-check: %-26s DETERMINISM: events %d->%d messages %d->%d gossip %d->%d (regenerate with make bench-scale if intended)\n",
 			name, base.Events, cur.Events, base.Messages, cur.Messages, base.Gossip, cur.Gossip)
 		status = 1
+	}
+	if countsOnly {
+		return status
 	}
 	if base.NsPerRequest > 0 {
 		if ratio := cur.NsPerRequest / base.NsPerRequest; ratio > 1+tolerance {

@@ -64,8 +64,17 @@ func main() {
 		seriesOut = flag.String("series", "", "write sampled per-resource time series as JSONL to this file (single-system mode)")
 		chromeOut = flag.String("chrometrace", "", "write the sampled series as a Chrome trace_event file (single-system mode)")
 		seriesDt  = flag.Float64("seriesdt", 0.01, "sampling interval in simulated seconds for -series/-chrometrace")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+		fatalIf(err)
+		defer func() { fatalIf(stopProfiles()) }()
+	}
 
 	var tr *trace.Trace
 	var err error

@@ -9,6 +9,7 @@
 //	experiments -scale 0.05     # quick pass
 //	experiments -only figure8   # one experiment
 //	experiments -only chash     # web-scale consistent-hashing sweep (runs only when named)
+//	experiments -only scalefigs # Figure 7-10 families at N up to 1024 (runs only when named)
 //	experiments -only churn     # shot-noise churn + diurnal study (runs only when named)
 //	experiments -only flash     # flash-crowd study (runs only when named)
 //	experiments -policy chash:vnodes=64,load=1.25,lard   # compare policy specs, then exit
@@ -43,7 +44,7 @@ import (
 func main() {
 	var (
 		scale    = flag.Float64("scale", 0.2, "request-count scale for the simulation figures")
-		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency; chash, churn, and flash — the web-scale consistent-hashing sweep and the non-stationary workload studies — run only when named explicitly)")
+		only     = flag.String("only", "", "run a single experiment (table1, figures3to6, table2, figure7..figure10, section5.2, sensitivity, memory, policies, persistent, failover, section6, heterogeneous, twotier, slownode, latency; chash, scalefigs, churn, and flash — the web-scale sweeps and the non-stationary workload studies — run only when named explicitly)")
 		profiles = flag.String("profiles", "", "per-node hardware spec, e.g. 4xfast:2.0/1.5/125000/64MB,12xslow:1.0/1.0/125000/32MB: run the weighted-policy comparison on that cluster, then exit")
 		policies = flag.String("policy", "", "comma-separated policy specs, e.g. chash:vnodes=64,load=1.25,lard:thigh=80: compare them on the clarknet workload, then exit")
 		csv      = flag.Bool("csv", false, "emit figures as CSV instead of tables")
@@ -54,8 +55,17 @@ func main() {
 		seriesOut = flag.String("series", "", "write a time-series JSONL of an instrumented run to this file, then exit")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event file of an instrumented run to this file, then exit")
 		seriesDt  = flag.Float64("seriesdt", 0.01, "sampling interval in simulated seconds for -series/-trace")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
+		fatalIf(err)
+		defer func() { fatalIf(stopProfiles()) }()
+	}
 
 	if *seriesOut != "" || *traceOut != "" {
 		fatalIf(writeSeriesArtifacts(*seriesOut, *traceOut, *seriesDt, *scale))
@@ -129,6 +139,29 @@ func main() {
 		}
 		if *chart {
 			fmt.Println(fig.Chart(60, 16))
+		}
+		fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	// The large-cluster figure sweep reruns the Figure 7-10 families at
+	// N up to 1024; like chash it runs only when named (a -scale 1 pass is
+	// what results/scale-figures.txt records).
+	if strings.EqualFold(*only, "scalefigs") {
+		start := time.Now()
+		figs, _, text, err := experiments.ScaleFiguresStudy(pool,
+			[]int{64, 256, 1024}, *scale)
+		fatalIf(err)
+		fmt.Println(text)
+		for _, fig := range figs {
+			if *csv {
+				fmt.Println(fig.CSV())
+			} else {
+				fmt.Println(fig.Render())
+			}
+			if *chart {
+				fmt.Println(fig.Chart(60, 16))
+			}
 		}
 		fmt.Fprintf(os.Stderr, "experiments: done in %v\n", time.Since(start).Round(time.Millisecond))
 		return

@@ -27,7 +27,8 @@ type Node struct {
 	eng      *sim.Engine
 	profile  Profile
 
-	failed bool
+	failed   bool
+	failHook func()
 }
 
 // NewNode builds a baseline node with the given cache capacity in bytes.
@@ -103,7 +104,21 @@ func (n *Node) CPUIdle() float64 { return 1 - n.CPU.Utilization() }
 // Fail marks the node as crashed. Resources keep draining queued work (the
 // simulator does not rewind history), but policies must stop selecting the
 // node, and new arrivals at it are aborted.
-func (n *Node) Fail() { n.failed = true }
+func (n *Node) Fail() {
+	if n.failed {
+		return
+	}
+	n.failed = true
+	if n.failHook != nil {
+		n.failHook()
+	}
+}
+
+// SetFailHook registers a callback invoked once, synchronously, when the
+// node fails. The network uses it to keep its dense live-node index in step
+// with Fail without rescanning the fleet per broadcast; there is a single
+// slot, so the last registration wins.
+func (n *Node) SetFailHook(fn func()) { n.failHook = fn }
 
 // Failed reports whether the node has crashed.
 func (n *Node) Failed() bool { return n.failed }

@@ -167,6 +167,10 @@ type L2S struct {
 	// published: every comparison divides by exactly 1.0.
 	weights []float64
 
+	// reporter is the environment's pooled load-broadcast delivery path,
+	// nil when the environment only offers closure-based BroadcastControl.
+	reporter policy.LoadReporter
+
 	rr *policy.RoundRobin
 
 	// seen[n] is the last load value node n broadcast; lastSent[n] is the
@@ -204,9 +208,11 @@ func New(env policy.Env, opts Options) *L2S {
 	for i := range all {
 		all[i] = i
 	}
+	reporter, _ := env.(policy.LoadReporter)
 	return &L2S{
 		env:      env,
 		opts:     opts,
+		reporter: reporter,
 		rr:       policy.NewRoundRobin(env),
 		seen:     make([]int, n),
 		lastSent: make([]int, n),
@@ -407,12 +413,28 @@ func (l *L2S) maybeBroadcastLoad(n int) {
 	l.inFlight[n] = true
 	l.lastSent[n] = cur
 	l.loadBroadcasts++
+	if l.reporter != nil {
+		// Pooled delivery: the environment hands (n, cur) back through
+		// ApplyLoadReport, sparing a closure allocation per broadcast.
+		l.reporter.BroadcastLoadReport(n, cur, l)
+		return
+	}
 	l.env.BroadcastControl(n, func() {
 		l.seen[n] = cur
 		l.inFlight[n] = false
 		// Load may have drifted again while the broadcast was in flight.
 		l.maybeBroadcastLoad(n)
 	})
+}
+
+// ApplyLoadReport implements policy.LoadReportSink: the delivery half of a
+// load broadcast sent through the environment's LoadReporter path, with the
+// exact statements the closure path runs.
+func (l *L2S) ApplyLoadReport(n, load int) {
+	l.seen[n] = load
+	l.inFlight[n] = false
+	// Load may have drifted again while the broadcast was in flight.
+	l.maybeBroadcastLoad(n)
 }
 
 // OnAssign implements policy.Distributor.
@@ -469,4 +491,7 @@ func (l *L2S) ServerSet(f policy.FileID) []int {
 	return out
 }
 
-var _ policy.Distributor = (*L2S)(nil)
+var (
+	_ policy.Distributor    = (*L2S)(nil)
+	_ policy.LoadReportSink = (*L2S)(nil)
+)

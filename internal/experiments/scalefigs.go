@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// scaleFigPolicies are the contenders of the large-cluster figure sweep:
+// the paper's two directory policies plus the bounded-load consistent-
+// hashing variant, the best zero-coordination alternative at these sizes.
+var scaleFigPolicies = []string{"l2s", "lard", "chash-bounded"}
+
+// ScaleFigRow is one line of the large-cluster figure sweep.
+type ScaleFigRow struct {
+	Trace    string
+	Nodes    int
+	Row      PolicyRow
+	Messages uint64
+	Gossip   uint64
+}
+
+// ScaleFiguresStudy re-asks the paper's Figure 7-10 question — throughput
+// versus cluster size on each of the four paper traces — at cluster sizes
+// the paper's hardware could never reach. Every simulation goes through
+// the deterministic parallel runner; with the flattened gossip path a full
+// sweep to N=1024 at -scale 1 is a routine run rather than an overnight
+// one, which is the point of committing results/scale-figures.txt. It
+// returns one figure per trace (in Figure 7-10 order) plus the combined
+// table.
+func ScaleFiguresStudy(p *runner.Pool, nodesList []int, scale float64) ([]Figure, []ScaleFigRow, string, error) {
+	type job struct {
+		trace  string
+		nodes  int
+		policy string
+	}
+	var jobs []runner.Job
+	var meta []job
+	traceNames := make([]string, 0, 4)
+	for _, spec := range trace.PaperTraces() {
+		tr, err := trace.Generate(spec.Scaled(scale))
+		if err != nil {
+			return nil, nil, "", err
+		}
+		traceNames = append(traceNames, spec.Name)
+		for _, n := range nodesList {
+			for _, name := range scaleFigPolicies {
+				meta = append(meta, job{spec.Name, n, name})
+				jobs = append(jobs, runner.Job{
+					Key: fmt.Sprintf("scalefigs/%s/%s/n=%d", spec.Name, name, n),
+					Config: server.NewConfig(server.CustomServer, n,
+						server.WithPolicy(name), server.WithSeed(5)),
+					Trace: tr,
+				})
+			}
+		}
+	}
+
+	var rows []ScaleFigRow
+	for i, jr := range p.Run(jobs) {
+		if jr.Err != nil {
+			return nil, nil, "", fmt.Errorf("experiments: %s: %w", jr.Key, jr.Err)
+		}
+		rows = append(rows, ScaleFigRow{
+			Trace:    meta[i].trace,
+			Nodes:    meta[i].nodes,
+			Row:      policyRow(meta[i].policy, jr.Result),
+			Messages: jr.Result.ControlMessages,
+			Gossip:   jr.Result.GossipMessages,
+		})
+	}
+
+	var figs []Figure
+	for _, tn := range traceNames {
+		fig := Figure{
+			ID:     "scalefigs-" + tn,
+			Title:  fmt.Sprintf("throughput vs cluster size, %s trace", tn),
+			XLabel: "nodes",
+			YLabel: "req/s",
+			X:      nodesAsFloats(nodesList),
+		}
+		for _, name := range scaleFigPolicies {
+			s := Series{Label: name}
+			for _, r := range rows {
+				if r.Trace == tn && r.Row.Policy == name {
+					s.Values = append(s.Values, r.Row.Throughput)
+				}
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7-10 families at large cluster sizes (scale %g)\n", scale)
+	for _, tn := range traceNames {
+		fmt.Fprintf(&b, "%s:\n", tn)
+		fmt.Fprintf(&b, "  %5s %-14s %10s %8s %8s %10s %12s %12s\n",
+			"nodes", "policy", "req/s", "miss%", "fwd%", "imbalance", "ctrl msgs", "gossip")
+		for _, r := range rows {
+			if r.Trace != tn {
+				continue
+			}
+			fmt.Fprintf(&b, "  %5d %-14s %10.0f %8.1f %8.1f %10.2f %12d %12d\n",
+				r.Nodes, r.Row.Policy, r.Row.Throughput, r.Row.MissRate*100,
+				r.Row.Forwarded*100, r.Row.Imbalance, r.Messages, r.Gossip)
+		}
+	}
+	return figs, rows, b.String(), nil
+}

@@ -1,0 +1,228 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// buildFleet returns an engine, network, and cluster, with the fleet
+// registered when flat is true. BatchFanout is forced to 1 so every
+// broadcast takes the batched (or flat) path.
+func buildFleet(n int, flat bool, slowNode int) (*sim.Engine, *Network, []*cluster.Node) {
+	eng := sim.NewEngine()
+	nw := New(eng, batchedConfig())
+	nodes := make([]*cluster.Node, n)
+	for i := range nodes {
+		p := cluster.DefaultProfile()
+		if i == slowNode {
+			p.LinkKBps = 1000
+		}
+		nodes[i] = cluster.NewProfiledNode(eng, i, p)
+	}
+	if flat {
+		nw.RegisterFleet(nodes)
+	}
+	return eng, nw, nodes
+}
+
+// stormScript drives an overlapping broadcast storm with mid-run failures
+// and statistics reads, the access pattern that exercises every deferred-
+// charge flush path, and returns the delivered times.
+func stormScript(eng *sim.Engine, nw *Network, nodes []*cluster.Node) []float64 {
+	var deliveredAt []float64
+	for i := 0; i < 16; i++ {
+		s := nodes[(i*7)%len(nodes)]
+		eng.At(float64(i)*2e-6, func() {
+			nw.Broadcast(s, nodes, 0.004, func() { deliveredAt = append(deliveredAt, eng.Now()) })
+		})
+	}
+	eng.At(9e-6, func() { nodes[3].Fail() })
+	eng.At(1.1e-5, func() { _ = nodes[5].CPU.BusyTime() }) // mid-storm flush
+	eng.At(1.3e-5, func() { nodes[5].ResetStats() })
+	eng.Run()
+	return deliveredAt
+}
+
+// TestBroadcastFlatMatchesBatched pins the tentpole's exactness claim at the
+// netsim layer: with the fleet registered, an overlapping broadcast storm —
+// including a mid-storm failure, a heterogeneous link rate, and interleaved
+// statistics reads and resets — produces bit-identical (==, not within-
+// epsilon) delivered times, event counts, message counters, and per-resource
+// busy times to the unregistered batched path.
+func TestBroadcastFlatMatchesBatched(t *testing.T) {
+	for _, n := range []int{33, 64, 200} {
+		for _, slow := range []int{-1, 17} {
+			engB, nwB, nodesB := buildFleet(n, false, slow)
+			atB := stormScript(engB, nwB, nodesB)
+			engF, nwF, nodesF := buildFleet(n, true, slow)
+			atF := stormScript(engF, nwF, nodesF)
+
+			if len(atB) != len(atF) {
+				t.Fatalf("n=%d slow=%d: deliveries batched %d, flat %d", n, slow, len(atB), len(atF))
+			}
+			for i := range atB {
+				if atB[i] != atF[i] {
+					t.Fatalf("n=%d slow=%d delivery %d: batched %v, flat %v", n, slow, i, atB[i], atF[i])
+				}
+			}
+			if engB.Fired() != engF.Fired() {
+				t.Fatalf("n=%d slow=%d: events batched %d, flat %d", n, slow, engB.Fired(), engF.Fired())
+			}
+			if nwB.Messages() != nwF.Messages() || nwB.ControlKB() != nwF.ControlKB() {
+				t.Fatalf("n=%d slow=%d: messages batched %d/%v, flat %d/%v",
+					n, slow, nwB.Messages(), nwB.ControlKB(), nwF.Messages(), nwF.ControlKB())
+			}
+			for i := range nodesB {
+				for _, pair := range [][2]*sim.Resource{
+					{nodesB[i].CPU, nodesF[i].CPU},
+					{nodesB[i].NIOut, nodesF[i].NIOut},
+					{nodesB[i].NIIn, nodesF[i].NIIn},
+				} {
+					if pair[0].BusyTime() != pair[1].BusyTime() {
+						t.Fatalf("n=%d slow=%d node %d %s: busy batched %v, flat %v",
+							n, slow, i, pair[0].Name(), pair[0].BusyTime(), pair[1].BusyTime())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastFlatSpacedStormTakesFastPath pins the epoch fast path: when
+// rounds are spaced beyond the admission threshold (the sender's NI
+// advancing more than 2.5 message times per round), the fleet records whole
+// rounds in O(1) — fastRounds must be nonzero even with request-like
+// resource traffic and statistics reads dirtying individual nodes — and the
+// results stay bit-identical to the batched walk.
+func TestBroadcastFlatSpacedStormTakesFastPath(t *testing.T) {
+	script := func(eng *sim.Engine, nw *Network, nodes []*cluster.Node) []float64 {
+		var deliveredAt []float64
+		for i := 0; i < 12; i++ {
+			s := nodes[(i*7)%len(nodes)]
+			eng.At(float64(i)*5e-5, func() {
+				nw.Broadcast(s, nodes, 0.004, func() { deliveredAt = append(deliveredAt, eng.Now()) })
+			})
+		}
+		// Request-like traffic against individual nodes mid-storm: these
+		// dirty the touched nodes but must not evict the rest of the fleet
+		// from the epoch.
+		eng.At(1.2e-4, func() { nodes[11].CPU.Acquire(2e-6, nil) })
+		eng.At(2.3e-4, func() { _ = nodes[5].CPU.BusyTime() })
+		eng.At(3.1e-4, func() { nodes[9].ResetStats() })
+		eng.Run()
+		return deliveredAt
+	}
+
+	engB, nwB, nodesB := buildFleet(64, false, -1)
+	atB := script(engB, nwB, nodesB)
+	engF, nwF, nodesF := buildFleet(64, true, -1)
+	atF := script(engF, nwF, nodesF)
+
+	if len(atB) != len(atF) {
+		t.Fatalf("deliveries batched %d, flat %d", len(atB), len(atF))
+	}
+	for i := range atB {
+		if atB[i] != atF[i] {
+			t.Fatalf("delivery %d: batched %v, flat %v", i, atB[i], atF[i])
+		}
+	}
+	if engB.Fired() != engF.Fired() {
+		t.Fatalf("events batched %d, flat %d", engB.Fired(), engF.Fired())
+	}
+	for i := range nodesB {
+		if nodesB[i].NIIn.BusyTime() != nodesF[i].NIIn.BusyTime() ||
+			nodesB[i].CPU.BusyTime() != nodesF[i].CPU.BusyTime() {
+			t.Fatalf("node %d busy times diverge", i)
+		}
+	}
+	if nwF.flat.fastRounds == 0 {
+		t.Fatalf("fastRounds = 0 (slowRounds = %d): spaced storm never took the epoch fast path",
+			nwF.flat.slowRounds)
+	}
+}
+
+// TestBroadcastFlatBelowFanoutUsesPerPair pins that a registered fleet only
+// changes how receivers are counted below the batching threshold: the
+// per-pair event path still runs, bit-identical to the unregistered network.
+func TestBroadcastFlatBelowFanoutUsesPerPair(t *testing.T) {
+	run := func(flat bool) (uint64, float64) {
+		eng := sim.NewEngine()
+		nw := New(eng, DefaultConfig()) // fan-out 7 < DefaultBatchFanout
+		nodes := makeCluster(eng, 8)
+		if flat {
+			nw.RegisterFleet(nodes)
+		}
+		deliveredAt := -1.0
+		nw.Broadcast(nodes[0], nodes, 0.004, func() { deliveredAt = eng.Now() })
+		eng.Run()
+		return eng.Fired(), deliveredAt
+	}
+	eventsB, atB := run(false)
+	eventsF, atF := run(true)
+	if eventsB != eventsF || atB != atF {
+		t.Fatalf("per-pair: batched %d events at %v, flat %d events at %v", eventsB, atB, eventsF, atF)
+	}
+	if eventsF != 5*7 {
+		t.Fatalf("events = %d, want %d (per-pair path)", eventsF, 5*7)
+	}
+}
+
+// TestBroadcastFlatSubsetFallsBack pins that a broadcast addressed to a
+// slice that is not the registered fleet — a subset, or a sender outside it
+// — falls back to the scanning path and stays correct.
+func TestBroadcastFlatSubsetFallsBack(t *testing.T) {
+	eng, nw, nodes := buildFleet(64, true, -1)
+	delivered := 0
+	if got := nw.Broadcast(nodes[0], nodes[:40], 0.004, func() { delivered++ }); got != 39 {
+		t.Fatalf("subset broadcast returned %d receivers, want 39", got)
+	}
+	eng.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d times, want 1", delivered)
+	}
+	if nw.Messages() != 39 {
+		t.Fatalf("Messages = %d, want 39", nw.Messages())
+	}
+}
+
+// TestBroadcastFlatFailedSender pins the dead-sender edge: a failed sender
+// still in the fleet broadcasts to every live node, exactly like the
+// scanning count.
+func TestBroadcastFlatFailedSender(t *testing.T) {
+	eng, nw, nodes := buildFleet(64, true, -1)
+	nodes[0].Fail()
+	nodes[9].Fail()
+	if got := nw.Broadcast(nodes[0], nodes, 0.004, nil); got != 62 {
+		t.Fatalf("failed-sender broadcast returned %d receivers, want 62", got)
+	}
+	eng.Run()
+	if nodes[9].NIIn.BusyTime() != 0 {
+		t.Fatal("failed receiver was charged")
+	}
+}
+
+// TestRegisterFleetRejectsMisnumberedNodes pins the registration contract:
+// node IDs must equal slice positions, and a second registration panics.
+func TestRegisterFleetRejectsMisnumberedNodes(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, DefaultConfig())
+	nodes := makeCluster(eng, 4)
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("misnumbered", func() {
+		nw.RegisterFleet([]*cluster.Node{nodes[1], nodes[0], nodes[2], nodes[3]})
+	})
+	nw2 := New(eng, DefaultConfig())
+	nodes2 := makeCluster(eng, 4)
+	nw2.RegisterFleet(nodes2)
+	expectPanic("double registration", func() { nw2.RegisterFleet(nodes2) })
+}

@@ -15,6 +15,8 @@ import (
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/cluster"
+	"repro/internal/netsim"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -43,6 +45,7 @@ func Benchmarks() []Bench {
 		{Name: "ZipfSample10k", Fn: ZipfSample10k},
 		{Name: "ZipfSample1M", Fn: ZipfSample1M},
 		{Name: "HistAdd", Fn: HistAdd},
+		{Name: "GossipBroadcastFlat", Fn: GossipBroadcastFlat},
 		{Name: "ServerRun", Fn: ServerRun, Requests: serverRunRequests},
 		{Name: "ServerRunHetero", Fn: ServerRunHetero, Requests: serverRunRequests},
 	}
@@ -93,6 +96,29 @@ func EngineCancel(b *testing.B) {
 		e.Schedule(2, nop)
 		ev.Cancel()
 		e.Step()
+	}
+}
+
+// GossipBroadcastFlat measures one flattened 256-node gossip round on a
+// registered fleet: sender charges, epoch admission, and the single pooled
+// delivery event. Rounds run back to back, so after the first each one
+// should take the O(1) epoch fast path — the operation the 1024-node
+// figure sweeps execute hundreds of thousands of times.
+func GossipBroadcastFlat(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	cfg := netsim.DefaultConfig()
+	cfg.BatchFanout = 1
+	nw := netsim.New(eng, cfg)
+	nodes := make([]*cluster.Node, 256)
+	for i := range nodes {
+		nodes[i] = cluster.NewNode(eng, i, 1<<20)
+	}
+	nw.RegisterFleet(nodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Broadcast(nodes[i%len(nodes)], nodes, 0.004, nil)
+		eng.Run()
 	}
 }
 

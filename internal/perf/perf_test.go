@@ -15,4 +15,5 @@ func BenchmarkLRUAccessEvict(b *testing.B)         { LRUAccessEvict(b) }
 func BenchmarkZipfSample10k(b *testing.B)          { ZipfSample10k(b) }
 func BenchmarkZipfSample1M(b *testing.B)           { ZipfSample1M(b) }
 func BenchmarkHistAdd(b *testing.B)                { HistAdd(b) }
+func BenchmarkGossipBroadcastFlat(b *testing.B)    { GossipBroadcastFlat(b) }
 func BenchmarkServerRun(b *testing.B)              { ServerRun(b) }

@@ -3,6 +3,7 @@ package perf
 import (
 	"fmt"
 	"runtime"
+	"runtime/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -144,10 +145,17 @@ func DropScaleTraces() {
 func RunScalePoint(p ScalePoint) (ScaleResult, error) {
 	tr := scaleTrace(p.Files, p.Requests)
 
+	// The peak sampler reads the live-heap gauge through runtime/metrics,
+	// which is lock-free and does not stop the world — runtime.ReadMemStats
+	// would, and on a single-CPU host each read also forcibly preempts the
+	// simulator goroutine, so an eager sampler taxes the very number being
+	// measured. 25 ms still gives dozens of samples on the shortest grid
+	// point, and the heap's high-water mark comes from pool growth early in
+	// the run, not from a transient a coarse sampler could miss.
+	heapGauge := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
 	runtime.GC()
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	base := ms.HeapAlloc
+	metrics.Read(heapGauge)
+	base := heapGauge[0].Value.Uint64()
 
 	var peak atomic.Uint64
 	peak.Store(base)
@@ -155,17 +163,17 @@ func RunScalePoint(p ScalePoint) (ScaleResult, error) {
 	sampled := make(chan struct{})
 	go func() {
 		defer close(sampled)
-		ticker := time.NewTicker(5 * time.Millisecond)
+		ticker := time.NewTicker(25 * time.Millisecond)
 		defer ticker.Stop()
-		var m runtime.MemStats
+		s := []metrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}}
 		for {
 			select {
 			case <-stop:
 				return
 			case <-ticker.C:
-				runtime.ReadMemStats(&m)
-				if m.HeapAlloc > peak.Load() {
-					peak.Store(m.HeapAlloc)
+				metrics.Read(s)
+				if v := s[0].Value.Uint64(); v > peak.Load() {
+					peak.Store(v)
 				}
 			}
 		}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// flattenTrace is the workload of the above-fan-out equivalence cases: big
+// enough that every policy's broadcasts exceed DefaultBatchFanout receivers
+// at N=64 and N=256 and that server sets, evictions, and forwarding all
+// engage; small enough to run every registered policy twice at both sizes.
+func flattenTrace(requests int) *trace.Trace {
+	return trace.MustGenerate(trace.GenSpec{
+		Name: "flatten-equiv", Files: 2000, AvgFileKB: 6, Requests: requests,
+		AvgReqKB: 5, Alpha: 0.8, LocalityP: 0.3, Seed: 23,
+	})
+}
+
+// TestFlattenedGossipEquivalence pins the tentpole's end-to-end exactness
+// claim: running with the registered-fleet flat broadcast path
+// (Net.FlattenGossip, the default) produces a server.Result EXACTLY equal —
+// every counter, every float bit, gossip and event counts included — to the
+// unflattened batched path, for every registered policy at N in {8, 64,
+// 256} plus the optional simulator modes. At 8 nodes broadcasts ride the
+// per-pair path, so the case set doubles as a no-regression check below the
+// fan-out threshold; at 64 and 256 every broadcast is flattened.
+func TestFlattenedGossipEquivalence(t *testing.T) {
+	type tcase struct {
+		name string
+		cfg  Config
+		tr   *trace.Trace
+	}
+	var cases []tcase
+
+	small := equivalenceTrace()
+	smallCases := equivalenceCases()
+	smallNames := make([]string, 0, len(smallCases))
+	for name := range smallCases {
+		smallNames = append(smallNames, name)
+	}
+	sort.Strings(smallNames)
+	for _, name := range smallNames {
+		cases = append(cases, tcase{"n8/" + name, smallCases[name], small})
+	}
+
+	big := flattenTrace(24_000)
+	for _, n := range []int{64, 256} {
+		for _, name := range policy.Names() {
+			cases = append(cases, tcase{
+				fmt.Sprintf("n%d/policy/%s", n, name),
+				NewConfig(CustomServer, n,
+					WithPolicy(name), WithSeed(42), WithCacheBytes(2<<20)),
+				big,
+			})
+		}
+	}
+	// A mid-run crash exercises the live-index maintenance of the flat
+	// path (fail hook, dead-sender and dead-receiver bookkeeping) above
+	// the fan-out threshold.
+	cases = append(cases, tcase{
+		"n64/mode/failure",
+		NewConfig(L2SServer, 64,
+			WithSeed(17), WithCacheBytes(2<<20), WithFailure(3, 0.6)),
+		big,
+	})
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			flatCfg := tc.cfg
+			flatCfg.Net.FlattenGossip = true
+			flat, err := Run(flatCfg, tc.tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eagerCfg := tc.cfg
+			eagerCfg.Net.FlattenGossip = false
+			eager, err := Run(eagerCfg, tc.tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(flat, eager) {
+				fj, _ := json.Marshal(flat)
+				ej, _ := json.Marshal(eager)
+				t.Errorf("flattened result diverged\n flat:  %s\n  (gossip %d, events %d)\n eager: %s\n  (gossip %d, events %d)",
+					fj, flat.GossipMessages, flat.Events, ej, eager.GossipMessages, eager.Events)
+			}
+		})
+	}
+}

@@ -71,10 +71,46 @@ type driver struct {
 	m      runMetrics
 	series *seriesProbe
 
+	// Cached optional-interface views of the policy, resolved once at
+	// setup instead of type-asserted per request.
+	clientAware policy.ClientAware
+	dispatched  policy.Dispatched
+
 	// Free lists of pooled per-request and per-reply jobs; the simulation is
 	// single-threaded, so plain stacks suffice.
 	reqPool []*requestJob
 	txPool  []*transmitJob
+	lrPool  []*loadReportJob
+}
+
+// loadReportJob is the pooled state of one in-flight load broadcast sent
+// through the policy.LoadReporter path: the reporting node, the announced
+// load, and the sink to hand them back to, with a single pre-bound deliver
+// method value instead of a closure per broadcast.
+type loadReportJob struct {
+	d       *driver
+	from    int
+	load    int
+	sink    policy.LoadReportSink
+	deliver func()
+}
+
+func (d *driver) getLoadReportJob() *loadReportJob {
+	if n := len(d.lrPool); n > 0 {
+		j := d.lrPool[n-1]
+		d.lrPool = d.lrPool[:n-1]
+		return j
+	}
+	j := &loadReportJob{d: d}
+	j.deliver = func() {
+		sink, from, load := j.sink, j.from, j.load
+		j.sink = nil
+		// Release before applying: the sink may immediately broadcast again
+		// (load drifted while in flight) and reuse this very job.
+		j.d.lrPool = append(j.d.lrPool, j)
+		sink.ApplyLoadReport(from, load)
+	}
+	return j
 }
 
 // requestJob is the pooled state of one non-persistent request's lifecycle:
@@ -298,6 +334,12 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 			}
 		}
 	}
+	if cfg.Net.FlattenGossip {
+		// Flat broadcast path: gossip fan-outs charge receivers through
+		// dense per-fleet banks, bit-identical to the unregistered network
+		// (TestFlattenedGossipEquivalence).
+		d.net.RegisterFleet(d.nodes)
+	}
 
 	popts := cfg.policyOptions()
 	// Pre-size per-file policy state: a policy sees at most one set per
@@ -327,6 +369,8 @@ func Run(cfg Config, tr *trace.Trace) (res Result, err error) {
 		}
 		d.dist = dist
 	}
+	d.clientAware, _ = d.dist.(policy.ClientAware)
+	d.dispatched, _ = d.dist.(policy.Dispatched)
 
 	d.bindMetrics(cfg.Metrics)
 	d.startSeries(cfg.Series)
@@ -452,8 +496,8 @@ func (d *driver) beginMeasurement() {
 func (d *driver) start(idx int) {
 	d.inflight++
 	f := d.tr.Requests[idx]
-	if ca, ok := d.dist.(policy.ClientAware); ok {
-		ca.SetNextClient(d.tr.Client(idx))
+	if d.clientAware != nil {
+		d.clientAware.SetNextClient(d.tr.Client(idx))
 	}
 	j := d.getRequestJob()
 	j.f = f
@@ -467,12 +511,11 @@ func (d *driver) start(idx int) {
 // message round trip to the dispatcher plus its per-query CPU), then calls
 // decide. Policies without a dispatcher decide immediately.
 func (d *driver) consultDispatcher(n0 int, decide func()) {
-	dp, ok := d.dist.(policy.Dispatched)
-	if !ok {
+	if d.dispatched == nil {
 		decide()
 		return
 	}
-	disp, cpuSec := dp.Dispatcher()
+	disp, cpuSec := d.dispatched.Dispatcher()
 	if disp < 0 || disp == n0 || d.nodes[disp].Failed() {
 		if disp >= 0 && disp != n0 {
 			// Dispatcher down: the whole scheme stalls, like LARD's
@@ -740,6 +783,18 @@ func (d *driver) BroadcastControl(from int, onDeliver func()) {
 	d.gossip += uint64(d.net.Broadcast(d.nodes[from], d.nodes, 0.004, onDeliver))
 }
 
+// BroadcastLoadReport implements policy.LoadReporter: the same broadcast as
+// BroadcastControl, carrying (from, load) on a pooled job back to the sink
+// at delivery time instead of in a per-broadcast closure.
+func (d *driver) BroadcastLoadReport(from, load int, sink policy.LoadReportSink) {
+	if d.nodes[from].Failed() {
+		return
+	}
+	j := d.getLoadReportJob()
+	j.from, j.load, j.sink = from, load, sink
+	d.gossip += uint64(d.net.Broadcast(d.nodes[from], d.nodes, 0.004, j.deliver))
+}
+
 // PairRateKBps implements policy.PairRater for proximity-aware dispatch:
 // the effective line rate between two nodes, or the uncapped configured
 // link bandwidth for a node talking to itself (no wire is crossed).
@@ -751,6 +806,7 @@ func (d *driver) PairRateKBps(a, b int) float64 {
 }
 
 var (
-	_ policy.Env       = (*driver)(nil)
-	_ policy.PairRater = (*driver)(nil)
+	_ policy.Env          = (*driver)(nil)
+	_ policy.PairRater    = (*driver)(nil)
+	_ policy.LoadReporter = (*driver)(nil)
 )

@@ -1,0 +1,85 @@
+package sim
+
+import "math"
+
+// addRepeated returns the result of adding c to x exactly n times with
+// IEEE-754 double rounding — bit-identical to
+//
+//	for ; n > 0; n-- { x += c }
+//
+// — in O(log(result/x)) time instead of O(n). The busy-time fold of a
+// charge bank replays hundreds of millions of identical additions per
+// large run; done naively the replay loop costs as much as the charging it
+// replaces.
+//
+// The closed form rests on a property of round-to-nearest-even: for a
+// fixed addend c and accumulators x in one binade (one exponent, so one
+// ulp), the rounded increment fl(x+c)-x depends only on c's fractional
+// part in ulps — not on x — except exactly at ties, where it depends only
+// on the parity of the low mantissa bit, which itself advances by a
+// constant each step. So the iteration advances by a constant step (or a
+// constant two-step cycle) until the accumulator crosses a binade
+// boundary, and each constant-step stretch collapses to one
+// multiply-and-add that is exact in integer-valued ulp arithmetic.
+//
+// Rather than derive the regime, the implementation probes it: compute the
+// next two steps; if they differ, take one step and re-probe (ties and
+// regime boundaries), otherwise jump ahead to just below the next binade
+// boundary. Negative or non-finite inputs fall back to the loop — the
+// charge banks only ever fold non-negative busy times by positive service
+// times.
+func addRepeated(x, c Time, n uint64) Time {
+	if n == 0 {
+		return x
+	}
+	if !(x >= 0) || !(c > 0) || math.IsInf(float64(x), 0) || math.IsInf(float64(c), 0) {
+		for ; n > 0; n-- {
+			x += c
+		}
+		return x
+	}
+	for n > 0 {
+		x1 := x + c
+		s1 := x1 - x
+		if s1 == 0 {
+			// c vanishes against x: every further addition is identical.
+			return x
+		}
+		x = x1
+		n--
+		if n == 0 {
+			return x
+		}
+		s2 := (x + c) - x
+		if s2 != s1 || s1 < 0 {
+			continue // regime transition or tie cycle: step and re-probe
+		}
+		// Constant-step regime: all accumulators in x's binade advance by
+		// exactly s1 per addition, and x+k*s1 is exact while it stays
+		// below the next power of two (integer arithmetic in ulps). Jump
+		// conservatively short of the boundary and let the loop mop up.
+		bound := math.Ldexp(1, ilogb(float64(x))+1)
+		k := uint64((bound - x) / s1)
+		if k > 2 {
+			k -= 2
+			if k > n {
+				k = n
+			}
+			y := x + float64(k)*s1
+			if y < bound && (y-x) == float64(k)*s1 {
+				x = y
+				n -= k
+				continue
+			}
+		}
+		x += s1
+		n--
+	}
+	return x
+}
+
+// ilogb is math.Ilogb restricted to positive finite inputs, without the
+// special-case branches.
+func ilogb(x float64) int {
+	return math.Ilogb(x)
+}

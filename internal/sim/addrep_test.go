@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func addLoop(x, c Time, n uint64) Time {
+	for ; n > 0; n-- {
+		x += c
+	}
+	return x
+}
+
+// TestAddRepeatedMatchesLoop pins addRepeated to the naive loop bit for bit
+// across the regimes that matter: accumulators from zero through many
+// binades, addends from far-below-ulp to same-magnitude, counts from 0 to
+// crossing several boundaries, plus adversarial tie addends constructed as
+// exact half-ulp multiples.
+func TestAddRepeatedMatchesLoop(t *testing.T) {
+	check := func(x, c Time, n uint64) {
+		t.Helper()
+		got, want := addRepeated(x, c, n), addLoop(x, c, n)
+		if got != want {
+			t.Fatalf("addRepeated(%v, %v, %d) = %v, want %v (diff %v)", x, c, n, got, want, got-want)
+		}
+	}
+
+	// The motivating case: microsecond message charges against seconds of
+	// accumulated busy time.
+	check(0, 6e-6, 1_000_000)
+	check(0, 3e-6, 1_000_000)
+	check(123.456, 6e-6, 500_000)
+	check(0, 2e-6, 0)
+	check(0, 2e-6, 1)
+	check(1e300, 1e280, 10_000) // far binades, still exact
+
+	// Addend absorbed entirely: x never moves.
+	check(1e20, 1e-6, 1000)
+
+	// Exact powers of two: additions are exact, boundary crossings sharp.
+	check(1, 0.25, 100)
+	check(1, math.Ldexp(1, -52), 10_000) // one-ulp steps across a binade
+
+	// Adversarial ties: c an exact odd multiple of half the ulp, so every
+	// addition lands exactly between grid points and round-to-even rules.
+	for _, e := range []int{0, 10, -20} {
+		x := Time(math.Ldexp(1.5, e))
+		halfUlp := math.Ldexp(1, e-53)
+		for _, mult := range []float64{1, 3, 5, 257} {
+			check(x, Time(mult*halfUlp), 10_000)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		x := Time(math.Ldexp(1+rng.Float64(), rng.Intn(40)-20))
+		if rng.Intn(8) == 0 {
+			x = 0
+		}
+		c := Time(math.Ldexp(1+rng.Float64(), rng.Intn(60)-50))
+		n := uint64(rng.Intn(20_000))
+		check(x, c, n)
+	}
+
+	// Large-count spot checks against the loop (kept few: the loop is the
+	// slow side).
+	check(0.5, 5.9e-6, 5_000_000)
+	check(7, 3.1e-6, 5_000_000)
+}

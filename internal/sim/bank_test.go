@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChargeBankMatchesEager drives a banked resource and an eagerly charged
+// twin through the same randomized schedule of deferred charges, Acquires,
+// statistics reads, and resets, and requires bit-identical observables at
+// every step. This is the exactness contract the flat gossip path rests on:
+// deferring a charge and folding it in at the next use must reproduce the
+// eager float operations in the eager order.
+func TestChargeBankMatchesEager(t *testing.T) {
+	const svc = 3e-6
+	for seed := int64(1); seed <= 20; seed++ {
+		eng := NewEngine()
+		eager := NewResource(eng, "eager", 1)
+		banked := NewResource(eng, "banked", 1)
+		bank := NewChargeBank(svc, []*Resource{banked})
+		rng := rand.New(rand.NewSource(seed))
+
+		check := func(step int, what string, a, b float64) {
+			if a != b {
+				t.Fatalf("seed %d step %d: %s diverged: eager %v banked %v", seed, step, what, a, b)
+			}
+		}
+		at := Time(0)
+		for step := 0; step < 400; step++ {
+			at += Time(rng.Float64() * 1e-5)
+			step := step
+			switch op := rng.Intn(10); {
+			case op < 6: // deferred charge, possibly in the past or future
+				chargeAt := at + Time(rng.NormFloat64()*1e-5)
+				eng.At(at, func() {
+					check(step, "ChargeAt",
+						float64(eager.ChargeAt(chargeAt, svc)),
+						float64(bank.ChargeAt(0, chargeAt)))
+				})
+			case op < 8: // real job with a completion event
+				service := Time(rng.Float64() * 2e-5)
+				eng.At(at, func() {
+					check(step, "Acquire",
+						float64(eager.Acquire(service, nil)),
+						float64(banked.Acquire(service, nil)))
+				})
+			case op < 9: // statistics read forces a flush mid-stream
+				eng.At(at, func() {
+					check(step, "BusyTime", float64(eager.BusyTime()), float64(banked.BusyTime()))
+					check(step, "Utilization", eager.Utilization(), banked.Utilization())
+				})
+			default: // measurement-interval reset (reads free and busy)
+				eng.At(at, func() {
+					eager.ResetStats()
+					banked.ResetStats()
+				})
+			}
+		}
+		eng.Run()
+		if got, want := banked.BusyTime(), eager.BusyTime(); got != want {
+			t.Fatalf("seed %d: final busy diverged: eager %v banked %v", seed, want, got)
+		}
+		if got, want := banked.Completed(), eager.Completed(); got != want {
+			t.Fatalf("seed %d: completions diverged: eager %d banked %d", seed, want, got)
+		}
+	}
+}
+
+// TestChargeBankSequentialChain pins the closed-form recurrence: back-to-back
+// deferred charges chain exactly like back-to-back eager ChargeAt calls, with
+// the resource untouched until the flush.
+func TestChargeBankSequentialChain(t *testing.T) {
+	eng := NewEngine()
+	r := NewResource(eng, "r", 1)
+	b := NewChargeBank(2e-6, []*Resource{r})
+
+	c1 := Time(1e-6) + 2e-6
+	if got := b.ChargeAt(0, 1e-6); got != c1 {
+		t.Fatalf("first charge finish = %v, want %v", got, c1)
+	}
+	// Second charge arrives before the first finishes: it queues.
+	c2 := c1 + 2e-6
+	if got := b.ChargeAt(0, 2e-6); got != c2 {
+		t.Fatalf("queued charge finish = %v, want %v", got, c2)
+	}
+	// Third arrives after an idle gap.
+	c3 := Time(9e-6) + 2e-6
+	if got := b.ChargeAt(0, 9e-6); got != c3 {
+		t.Fatalf("idle-gap charge finish = %v, want %v", got, c3)
+	}
+	busy := Time(2e-6) + 2e-6 + 2e-6 // three charges replayed in order
+	if got := r.BusyTime(); got != busy {
+		t.Fatalf("busy after flush = %v, want %v", got, busy)
+	}
+	// The next real job starts no earlier than the flushed chain.
+	if got := r.Acquire(1e-6, nil); got != c3+1e-6 {
+		t.Fatalf("acquire finish = %v, want %v", got, c3+1e-6)
+	}
+}
+
+func TestChargeBankPanics(t *testing.T) {
+	eng := NewEngine()
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	multi := NewResource(eng, "multi", 2)
+	expectPanic("multi-server", func() { NewChargeBank(1e-6, []*Resource{multi}) })
+	r := NewResource(eng, "r", 1)
+	NewChargeBank(1e-6, []*Resource{r})
+	expectPanic("double bank", func() { NewChargeBank(1e-6, []*Resource{r}) })
+	expectPanic("zero service", func() { NewChargeBank(0, []*Resource{NewResource(eng, "s", 1)}) })
+}

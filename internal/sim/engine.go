@@ -10,12 +10,14 @@
 // on the goroutine that calls Run, and two events scheduled for the same
 // instant fire in the order they were scheduled.
 //
-// The calendar is allocation-free in steady state: events live in a pooled
-// slot array reached through a slice-backed binary heap of plain values, so
-// scheduling and firing never touch the garbage collector once the pool has
-// grown to the simulation's high-water mark. Event handles carry the
-// scheduling sequence number, which keeps Cancel safe (a no-op) after the
-// event has fired and its slot has been recycled.
+// The calendar is allocation-free in steady state. Resource completions —
+// the bulk of all events — are plain values carried inline in the calendar
+// entries; cancellable callback events live in a pooled slot array reached
+// through the entry's packed key, so scheduling and firing never touch the
+// garbage collector once the pool has grown to the simulation's high-water
+// mark. Event handles carry the scheduling sequence number, which keeps
+// Cancel safe (a no-op) after the event has fired and its slot has been
+// recycled.
 package sim
 
 import (
@@ -64,55 +66,55 @@ func (ev Event) Cancel() {
 // no stale calendar entry.
 const invalidSeq = ^uint64(0)
 
-// eventSlot is pooled per-event state. A slot is live between schedule and
-// fire/cancel; seq holds the scheduling sequence number while live and
-// invalidSeq while free, which invalidates stale handles and stale heap
-// entries alike.
+// eventSlot is pooled per-event state for cancellable callback events
+// (Schedule/At). A slot is live between schedule and fire/cancel; seq holds
+// the scheduling sequence number while live and invalidSeq while free,
+// which invalidates stale handles and stale heap entries alike. Resource
+// completions never take a slot — they ride inline in the calendar entry
+// (see heapEntry).
 //
-// A slot carries either a generic callback (fn) or a resource completion
-// (res + done). Resource completions are common enough — every Acquire
-// schedules one — that representing them directly saves a closure per job.
-// Which pair is live is encoded in the calendar entry's key (see
-// heapEntry), not in the slot itself.
-//
-// Releasing a slot deliberately leaves its fn/res/done pointers in place:
-// the calendar's kind bit decides which pair the next fire reads, so stale
-// pointers are never followed, and skipping the nil stores keeps the
-// release path free of GC write barriers (a measurable cost when every
-// simulated event passes through here). The pointers a retired slot pins
-// are the pooled jobs and method-value callbacks of the model, which live
-// for the whole run anyway.
+// Releasing a slot deliberately leaves its fn pointer in place: a freed
+// slot's callback is never invoked (the seq mismatch retires its entry
+// first), and skipping the nil store keeps the release path free of GC
+// write barriers. The pointer a retired slot pins is a pooled job or
+// method-value callback of the model, which lives for the whole run anyway.
 type eventSlot struct {
 	when Time
 	seq  uint64
 	fn   func()
-	res  *Resource
-	done func()
 	next int32 // free-list link while the slot is free
 }
 
-// Calendar-key layout: seq in the high bits, then one kind bit, then the
-// slot index. Comparing keys compares seq first, and seq is unique, so key
-// order IS schedule order; the kind and slot bits ride along for free.
+// Calendar-key layout: seq in the high bits, slot index in the low bits.
+// Comparing keys compares seq first, and seq is unique, so key order IS
+// schedule order; the slot bits ride along for free. Completion entries
+// carry no slot and leave the low bits zero — harmless, since seq alone
+// decides every comparison.
 const (
 	slotBits = 20
 	maxSlots = 1 << slotBits // 1M simultaneously pending events
-	kindBit  = uint64(1) << slotBits
-	seqShift = slotBits + 1
-	maxSeq   = uint64(1)<<(64-seqShift) - 1 // ~8.8e12 schedulings per engine
+	seqShift = slotBits
+	maxSeq   = uint64(1)<<(64-seqShift) - 1 // ~1.7e13 schedulings per engine
 )
 
-// heapEntry is one calendar entry: the firing time plus a packed key
-// holding (sequence, kind, slot). Sixteen bytes per entry means four
-// entries per cache line; the calendar array is the hottest memory in the
-// simulator, and every byte of entry width is paid on every sift move.
+// heapEntry is one calendar entry: the firing time, a packed key holding
+// (sequence, slot), and — for resource completions, the overwhelming bulk
+// of calendar traffic — the completion target carried inline. Inlining
+// (res, done) costs sixteen extra bytes per entry but spares completions
+// the pooled slot round-trip entirely: no slot allocate/free per job, and
+// no random load into the slot array on every peek to check staleness
+// (completions have no handle, so they can never be cancelled and are
+// always live). Cancellable callback events keep res nil and reach their
+// callback through the slot named in the key.
 type heapEntry struct {
 	when Time
 	key  uint64
+	res  *Resource // completion target, nil for callback events
+	done func()    // completion callback (may be nil); unused for callback events
 }
 
-// before orders entries by (when, seq); the kind and slot bits in the low
-// end of the key never matter because seq alone is unique.
+// before orders entries by (when, seq); the slot bits in the low end of
+// the key never matter because seq alone is unique.
 func (a heapEntry) before(b heapEntry) bool {
 	if a.when != b.when {
 		return a.when < b.when
@@ -120,9 +122,8 @@ func (a heapEntry) before(b heapEntry) bool {
 	return a.key < b.key
 }
 
-func (en heapEntry) slot() int32        { return int32(en.key & (maxSlots - 1)) }
-func (en heapEntry) isCompletion() bool { return en.key&kindBit != 0 }
-func (en heapEntry) entrySeq() uint64   { return en.key >> seqShift }
+func (en heapEntry) slot() int32      { return int32(en.key & (maxSlots - 1)) }
+func (en heapEntry) entrySeq() uint64 { return en.key >> seqShift }
 
 // probe is an observation hook that fires outside the event calendar (see
 // Engine.Probe).
@@ -199,22 +200,18 @@ func (e *Engine) At(t Time, fn func()) Event {
 	s := &e.slots[slot]
 	s.when = t
 	s.fn = fn
-	seq := e.push(t, uint64(uint32(slot)))
+	seq := e.push(heapEntry{when: t, key: uint64(uint32(slot))})
 	s.seq = seq
 	return Event{eng: e, slot: slot, seq: seq}
 }
 
 // atCompletion schedules a resource-completion event: when it fires, r
-// retires one job and then calls done. Storing the pair in the slot instead
-// of a closure keeps Resource.Acquire allocation-free. The calendar key
-// carries the kind bit, marking the event as a completion.
+// retires one job and then calls done. The pair rides inline in the
+// calendar entry — no slot, no closure — so Resource.Acquire stays
+// allocation-free and the completion never pays the slot pool's
+// bookkeeping.
 func (e *Engine) atCompletion(t Time, r *Resource, done func()) {
-	slot := e.allocSlot()
-	s := &e.slots[slot]
-	s.when = t
-	s.res = r
-	s.done = done
-	s.seq = e.push(t, uint64(uint32(slot))|kindBit)
+	e.push(heapEntry{when: t, res: r, done: done})
 }
 
 // allocSlot takes a slot from the free list, growing the pool if none is
@@ -243,9 +240,10 @@ func (e *Engine) freeSlot(slot int32) {
 	e.free = slot
 }
 
-// push stages a calendar entry for the given low key bits (slot index plus
-// kind bit). It returns the sequence number assigned to the scheduling.
-func (e *Engine) push(t Time, low uint64) uint64 {
+// push stages a calendar entry. The caller fills when, the low key bits
+// (slot index for callback events, zero for completions), and any inline
+// completion state; push assigns the sequence number and returns it.
+func (e *Engine) push(en heapEntry) uint64 {
 	seq := e.seq
 	if seq > maxSeq {
 		panic("sim: scheduling sequence numbers exhausted")
@@ -255,10 +253,22 @@ func (e *Engine) push(t Time, low uint64) uint64 {
 	if e.nstaged == stagedCap {
 		e.flushStaged()
 	}
-	en := heapEntry{when: t, key: seq<<seqShift | low}
-	// Insertion-sort into the descending buffer. The common push is a new
-	// minimum (the model schedules mostly near-term events), which lands at
-	// the end after a single failed comparison.
+	en.key |= seq << seqShift
+	// An entry due no earlier than the staged maximum goes straight to the
+	// heap: it would only ride the buffer until the next flush anyway, and
+	// filing it first means shifting every nearer entry out of its way. At
+	// saturation most pushes are far-future queue-tail completions, so this
+	// branch keeps the buffer holding near-term work. The buffer/heap split
+	// is free to vary — peekLive takes the minimum of both — so any
+	// partition yields the identical popped sequence.
+	if e.nstaged > 0 && !en.before(e.staged[0]) {
+		e.heap = append(e.heap, en)
+		e.siftUp(len(e.heap) - 1)
+		return seq
+	}
+	// Insertion-sort into the descending buffer. The common near-term push
+	// is a new minimum, which lands at the end after a single failed
+	// comparison.
 	p := e.nstaged
 	for p > 0 && e.staged[p-1].before(en) {
 		e.staged[p] = e.staged[p-1]
@@ -364,7 +374,9 @@ func (e *Engine) peekLive() (fromStaged bool, entry heapEntry, ok bool) {
 		if !has {
 			return false, heapEntry{}, false
 		}
-		if e.slots[entry.slot()].seq == entry.entrySeq() {
+		// Completions are always live: they carry no handle, so nothing can
+		// cancel them. Only callback events need the slot staleness check.
+		if entry.res != nil || e.slots[entry.slot()].seq == entry.entrySeq() {
 			return fromStaged, entry, true
 		}
 		e.removeTop(fromStaged)
@@ -430,18 +442,17 @@ func (e *Engine) fire(fromStaged bool, entry heapEntry) {
 	if entry.when < e.now {
 		panic("sim: time went backwards")
 	}
-	// Copy the callback out and release the slot before invoking it: the
-	// callback is free to schedule new events into the recycled slot.
-	slot := entry.slot()
-	s := &e.slots[slot]
-	fn, res, done := s.fn, s.res, s.done
 	e.pending--
-	e.freeSlot(slot)
 	e.now = entry.when
 	e.fired++
-	if entry.isCompletion() {
-		res.complete(done)
+	if entry.res != nil {
+		entry.res.complete(entry.done)
 	} else {
+		// Copy the callback out and release the slot before invoking it: the
+		// callback is free to schedule new events into the recycled slot.
+		slot := entry.slot()
+		fn := e.slots[slot].fn
+		e.freeSlot(slot)
 		fn()
 	}
 	if len(e.probes) != 0 {
